@@ -1,0 +1,285 @@
+(* Command-line front end: build any circuit family from the paper, count
+   its resources, draw it, or run it on the simulator.
+
+     mbu-cli counts --circuit modadd --style mixed -n 16 --mbu
+     mbu-cli draw --circuit adder --style cdkpm -n 2
+     mbu-cli simulate --circuit modadd --style gidney -n 5 -p 29 -x 17 -y 25 *)
+
+open Mbu_circuit
+open Mbu_core
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Circuit construction shared by all subcommands *)
+
+type built = {
+  builder : Builder.t;
+  registers : Register.t list;  (* for drawing labels / initialization *)
+  inits : (Register.t * int) list;
+  outputs : Register.t list;  (* registers to print after simulation *)
+}
+
+let style_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "vbe" -> Ok Adder.Vbe
+    | "cdkpm" -> Ok Adder.Cdkpm
+    | "gidney" -> Ok Adder.Gidney
+    | "draper" -> Ok Adder.Draper
+    | _ -> Error (`Msg "style must be vbe | cdkpm | gidney | draper")
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Adder.style_name s))
+
+let spec_of_style = function
+  | Adder.Cdkpm -> Mod_add.spec_cdkpm
+  | Adder.Gidney -> Mod_add.spec_gidney
+  | Adder.Vbe ->
+      Mod_add.{ q_add = Adder.Vbe; q_comp_const = Adder.Vbe;
+                c_q_sub_const = Adder.Vbe; q_comp = Adder.Vbe }
+  | Adder.Draper ->
+      Mod_add.{ q_add = Adder.Draper; q_comp_const = Adder.Draper;
+                c_q_sub_const = Adder.Draper; q_comp = Adder.Draper }
+
+let default_p n = (1 lsl n) - 1
+
+let build_circuit ~circuit ~style ~mbu ~n ~p ~a ~x_val ~y_val =
+  let b = Builder.create () in
+  let p = match p with Some p -> p | None -> default_p n in
+  let a = match a with Some a -> a | None -> p / 3 in
+  let reg name len = Builder.fresh_register b name len in
+  match circuit with
+  | "adder" ->
+      let x = reg "x" n and y = reg "y" (n + 1) in
+      Adder.add style b ~x ~y;
+      { builder = b; registers = [ x; y ]; inits = [ (x, x_val); (y, y_val) ];
+        outputs = [ y ] }
+  | "sub" ->
+      let x = reg "x" n and y = reg "y" (n + 1) in
+      Adder.sub style b ~x ~y;
+      { builder = b; registers = [ x; y ]; inits = [ (x, x_val); (y, y_val) ];
+        outputs = [ y ] }
+  | "cadder" ->
+      let c = reg "c" 1 and x = reg "x" n and y = reg "y" (n + 1) in
+      Adder.add_controlled style b ~ctrl:(Register.get c 0) ~x ~y;
+      { builder = b; registers = [ c; x; y ];
+        inits = [ (c, 1); (x, x_val); (y, y_val) ]; outputs = [ y ] }
+  | "adder-const" ->
+      let y = reg "y" (n + 1) in
+      Adder.add_const style b ~a ~y;
+      { builder = b; registers = [ y ]; inits = [ (y, y_val) ]; outputs = [ y ] }
+  | "compare" ->
+      let x = reg "x" n and y = reg "y" n and t = reg "t" 1 in
+      Adder.compare style b ~x ~y ~target:(Register.get t 0);
+      { builder = b; registers = [ x; y; t ];
+        inits = [ (x, x_val); (y, y_val); (t, 0) ]; outputs = [ t ] }
+  | "compare-const" ->
+      let x = reg "x" n and t = reg "t" 1 in
+      Adder.compare_const style b ~a ~x ~target:(Register.get t 0);
+      { builder = b; registers = [ x; t ]; inits = [ (x, x_val); (t, 0) ];
+        outputs = [ t ] }
+  | "modadd" ->
+      let x = reg "x" n and y = reg "y" n in
+      (if style = Adder.Draper then Mod_add.modadd_draper ~mbu b ~p ~x ~y
+       else Mod_add.modadd ~mbu (spec_of_style style) b ~p ~x ~y);
+      { builder = b; registers = [ x; y ];
+        inits = [ (x, x_val mod p); (y, y_val mod p) ]; outputs = [ y ] }
+  | "modadd-mixed" ->
+      let x = reg "x" n and y = reg "y" n in
+      Mod_add.modadd ~mbu Mod_add.spec_mixed b ~p ~x ~y;
+      { builder = b; registers = [ x; y ];
+        inits = [ (x, x_val mod p); (y, y_val mod p) ]; outputs = [ y ] }
+  | "cmodadd" ->
+      let c = reg "c" 1 and x = reg "x" n and y = reg "y" n in
+      Mod_add.modadd_controlled ~mbu (spec_of_style style) b
+        ~ctrl:(Register.get c 0) ~p ~x ~y;
+      { builder = b; registers = [ c; x; y ];
+        inits = [ (c, 1); (x, x_val mod p); (y, y_val mod p) ]; outputs = [ y ] }
+  | "modadd-const" ->
+      let x = reg "x" n in
+      (if style = Adder.Draper then
+         Mod_add.modadd_const_draper ~mbu b ~p ~a:(a mod p) ~x
+       else Mod_add.modadd_const ~mbu (spec_of_style style) b ~p ~a:(a mod p) ~x);
+      { builder = b; registers = [ x ]; inits = [ (x, x_val mod p) ]; outputs = [ x ] }
+  | "takahashi" ->
+      let x = reg "x" n in
+      Mod_add.modadd_const_takahashi ~mbu (spec_of_style style) b ~p ~a:(a mod p) ~x;
+      { builder = b; registers = [ x ]; inits = [ (x, x_val mod p) ]; outputs = [ x ] }
+  | "in-range" ->
+      let x = reg "x" n and y = reg "y" n and z = reg "z" n and t = reg "t" 1 in
+      Mbu.in_range ~mbu style b ~x ~y ~z ~target:(Register.get t 0);
+      { builder = b; registers = [ x; y; z; t ];
+        inits = [ (x, x_val); (y, y_val); (z, a); (t, 0) ]; outputs = [ t ] }
+  | "cmult" ->
+      let c = reg "c" 1 and x = reg "x" n and t = reg "t" n in
+      let engine =
+        if style = Adder.Draper then Mod_mul.draper_engine ~mbu ()
+        else Mod_mul.ripple_engine ~mbu (spec_of_style style)
+      in
+      Mod_mul.cmult_add engine b ~ctrl:(Register.get c 0) ~a ~p ~x ~target:t;
+      { builder = b; registers = [ c; x; t ];
+        inits = [ (c, 1); (x, x_val mod p); (t, y_val mod p) ]; outputs = [ t ] }
+  | "adder-cla" ->
+      let x = reg "x" n and y = reg "y" (n + 1) in
+      Adder_cla.add ~mbu b ~x ~y;
+      { builder = b; registers = [ x; y ]; inits = [ (x, x_val); (y, y_val) ];
+        outputs = [ y ] }
+  | "increment" ->
+      let y = reg "y" n in
+      Increment.apply b y;
+      { builder = b; registers = [ y ]; inits = [ (y, y_val) ]; outputs = [ y ] }
+  | "modsub" ->
+      let x = reg "x" n and y = reg "y" n in
+      Mod_add.modsub ~mbu (spec_of_style style) b ~p ~x ~y;
+      { builder = b; registers = [ x; y ];
+        inits = [ (x, x_val mod p); (y, y_val mod p) ]; outputs = [ y ] }
+  | "lookup" ->
+      let k = min n 10 in
+      let address = reg "a" k and target = reg "t" (max 1 (min n 8)) in
+      let data =
+        Array.init (1 lsl k) (fun i -> (i * 37 + 5) land ((1 lsl Register.length target) - 1))
+      in
+      Qrom.lookup b ~address ~target ~data;
+      if mbu then Qrom.unlookup b ~address ~target ~data;
+      { builder = b; registers = [ address; target ];
+        inits = [ (address, x_val land ((1 lsl k) - 1)) ]; outputs = [ target ] }
+  | "cmult-windowed" ->
+      let c = reg "c" 1 and x = reg "x" n and t = reg "t" n in
+      Mod_mul.cmult_add_windowed ~mbu (spec_of_style style) b
+        ~ctrl:(Register.get c 0) ~a ~p ~x ~target:t;
+      { builder = b; registers = [ c; x; t ];
+        inits = [ (c, 1); (x, x_val mod p); (t, y_val mod p) ]; outputs = [ t ] }
+  | other -> failwith (Printf.sprintf "unknown circuit %S" other)
+
+let circuits =
+  [ "adder"; "sub"; "cadder"; "adder-const"; "compare"; "compare-const";
+    "modadd"; "modadd-mixed"; "cmodadd"; "modadd-const"; "takahashi";
+    "in-range"; "cmult"; "adder-cla"; "increment"; "modsub"; "lookup";
+    "cmult-windowed" ]
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments *)
+
+let circuit_arg =
+  let doc =
+    Printf.sprintf "Circuit family: %s." (String.concat " | " circuits)
+  in
+  Arg.(value & opt string "modadd" & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
+
+let style_arg =
+  Arg.(value & opt style_conv Adder.Cdkpm
+       & info [ "s"; "style" ] ~docv:"STYLE" ~doc:"Adder family.")
+
+let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Register width in qubits.")
+let p_arg = Arg.(value & opt (some int) None & info [ "p" ] ~doc:"Modulus (default 2^n - 1).")
+let a_arg = Arg.(value & opt (some int) None & info [ "a" ] ~doc:"Classical constant.")
+let mbu_arg = Arg.(value & flag & info [ "mbu" ] ~doc:"Use measurement-based uncomputation.")
+let x_arg = Arg.(value & opt int 3 & info [ "x" ] ~doc:"Value of register x.")
+let y_arg = Arg.(value & opt int 5 & info [ "y" ] ~doc:"Value of register y.")
+
+let mode_arg =
+  let mode_conv =
+    Arg.conv
+      ( (fun s ->
+          match String.lowercase_ascii s with
+          | "worst" -> Ok Counts.Worst
+          | "best" -> Ok Counts.Best
+          | "expected" -> Ok (Counts.Expected 0.5)
+          | _ -> Error (`Msg "mode must be worst | best | expected")),
+        fun fmt -> function
+          | Counts.Worst -> Format.pp_print_string fmt "worst"
+          | Counts.Best -> Format.pp_print_string fmt "best"
+          | Counts.Expected p -> Format.fprintf fmt "expected(%g)" p )
+  in
+  Arg.(value & opt mode_conv (Counts.Expected 0.5)
+       & info [ "mode" ] ~doc:"Counting mode: worst | best | expected.")
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands *)
+
+let counts_cmd =
+  let run circuit style mbu n p a mode =
+    let { builder; _ } =
+      build_circuit ~circuit ~style ~mbu ~n ~p ~a ~x_val:0 ~y_val:0
+    in
+    let c = Builder.to_circuit builder in
+    let counts = Circuit.counts ~mode c in
+    let depth_mode =
+      match mode with Counts.Worst -> `Worst | _ -> `Expected 0.5
+    in
+    let d = Depth.of_circuit ~mode:depth_mode c in
+    Format.printf "circuit     : %s (%s%s), n = %d@." circuit
+      (Adder.style_name style) (if mbu then ", MBU" else "") n;
+    Format.printf "qubits      : %d (%d inputs + %d ancillas)@."
+      (Builder.num_qubits builder) (Builder.input_qubits builder)
+      (Builder.ancilla_qubits builder);
+    Format.printf "counts      : %a@." Counts.pp counts;
+    Format.printf "CNOT+CZ     : %g@." (Counts.cnot_cz counts);
+    Format.printf "QFT units   : %.2f (of QFT_%d)@."
+      (Counts.qft_units ~m:(n + 1) counts) (n + 1);
+    Format.printf "depth       : %.1f (Toffoli depth %.1f)@." d.Depth.total
+      d.Depth.toffoli
+  in
+  let term = Term.(const run $ circuit_arg $ style_arg $ mbu_arg $ n_arg $ p_arg $ a_arg $ mode_arg) in
+  Cmd.v (Cmd.info "counts" ~doc:"Print resource counts for a circuit family.") term
+
+let draw_cmd =
+  let run circuit style mbu n p a =
+    let { builder; registers; _ } =
+      build_circuit ~circuit ~style ~mbu ~n ~p ~a ~x_val:0 ~y_val:0
+    in
+    print_string (Draw.render_registers registers (Builder.to_circuit builder))
+  in
+  let term = Term.(const run $ circuit_arg $ style_arg $ mbu_arg $ n_arg $ p_arg $ a_arg) in
+  Cmd.v
+    (Cmd.info "draw" ~doc:"Render a small circuit as ASCII art (keep n <= 4).")
+    term
+
+let simulate_cmd =
+  let run circuit style mbu n p a x_val y_val seed =
+    let { builder; inits; outputs; _ } =
+      build_circuit ~circuit ~style ~mbu ~n ~p ~a ~x_val ~y_val
+    in
+    let rng = Random.State.make [| seed |] in
+    let r = Mbu_simulator.Sim.run_builder ~rng builder ~inits in
+    List.iter
+      (fun (reg, v) -> Format.printf "in  %-4s = %d@." (Register.name reg) v)
+      inits;
+    List.iter
+      (fun reg ->
+        match Mbu_simulator.Sim.register_value r.Mbu_simulator.Sim.state reg with
+        | Some v -> Format.printf "out %-4s = %d@." (Register.name reg) v
+        | None -> Format.printf "out %-4s = (superposed)@." (Register.name reg))
+      outputs;
+    Format.printf "executed    : %a@." Counts.pp r.Mbu_simulator.Sim.executed
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let term =
+    Term.(const run $ circuit_arg $ style_arg $ mbu_arg $ n_arg $ p_arg $ a_arg
+          $ x_arg $ y_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run a circuit on the sparse simulator.") term
+
+
+let qasm_cmd =
+  let run circuit style mbu n p a optimize =
+    let { builder; _ } =
+      build_circuit ~circuit ~style ~mbu ~n ~p ~a ~x_val:0 ~y_val:0
+    in
+    let c = Builder.to_circuit builder in
+    let c = if optimize then Optimize.circuit c else c in
+    print_string (Qasm.to_string c)
+  in
+  let optimize_arg =
+    Arg.(value & flag
+         & info [ "O"; "optimize" ] ~doc:"Run the peephole optimizer first.")
+  in
+  let term =
+    Term.(const run $ circuit_arg $ style_arg $ mbu_arg $ n_arg $ p_arg $ a_arg
+          $ optimize_arg)
+  in
+  Cmd.v (Cmd.info "qasm" ~doc:"Export a circuit as OpenQASM 3.") term
+
+let () =
+  let doc = "quantum modular arithmetic with measurement-based uncomputation" in
+  let info = Cmd.info "mbu-cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ counts_cmd; draw_cmd; simulate_cmd; qasm_cmd ]))

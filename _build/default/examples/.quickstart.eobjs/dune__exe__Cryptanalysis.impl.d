@@ -1,0 +1,1 @@
+examples/cryptanalysis.ml: Array Builder List Mbu_circuit Mbu_core Mbu_simulator Mod_add Mod_mul Printf Register Resources Sim State String

@@ -1,0 +1,1 @@
+examples/grover.ml: Adder Builder Fun List Mbu Mbu_circuit Mbu_core Mbu_simulator Mcx Mod_add Mod_mul Printf Random Register Sim String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adder_cdkpm Array Builder Circuit Counts Draw Format List Mbu Mbu_circuit Mbu_core Mbu_simulator Mod_add Printf Register Resources Sim State

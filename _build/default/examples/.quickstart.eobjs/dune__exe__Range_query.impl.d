@@ -1,0 +1,1 @@
+examples/range_query.ml: Adder Array Builder Formulas List Mbu Mbu_circuit Mbu_core Mbu_simulator Printf Register Resources Sim State

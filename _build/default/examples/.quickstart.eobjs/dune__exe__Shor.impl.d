@@ -1,0 +1,1 @@
+examples/shor.ml: Array Builder Circuit Hashtbl List Mbu_circuit Mbu_core Mbu_simulator Mod_add Mod_mul Printf Qft Random Register Sim

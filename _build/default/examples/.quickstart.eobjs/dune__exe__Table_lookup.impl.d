@@ -1,0 +1,1 @@
+examples/table_lookup.ml: Array Builder Circuit Counts Format List Mbu_circuit Mbu_core Mbu_simulator Printf Qrom Register Sim State

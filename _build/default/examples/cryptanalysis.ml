@@ -1,0 +1,99 @@
+(* Quantum cryptanalysis workload: Shor-style modular exponentiation.
+
+   The paper motivates MBU with quantum attacks on RSA/ECC-style problems
+   (section 1): a factoring run is dominated by controlled modular
+   multiplications, each of which is a ladder of controlled constant modular
+   adders — exactly the circuits MBU optimizes. This example
+   (a) runs a complete order-finding-style modular exponentiation on the
+       simulator at toy size (p = 15, a = 7), and
+   (b) scales the per-multiplier resource counts up to cryptographic-looking
+       widths to show the compounded MBU saving.
+
+     dune exec examples/cryptanalysis.exe *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let () =
+  print_endline "=== Order finding on the simulator: a = 7, N = 15 ===";
+  let n = 4 and p = 15 and a = 7 in
+  let engine = Mod_mul.ripple_engine ~mbu:true Mod_add.spec_mixed in
+  (* |e>|1> -> |e>|a^e mod N> over a superposed 3-bit exponent. *)
+  let b = Builder.create () in
+  let e = Builder.fresh_register b "e" 3 in
+  let x = Builder.fresh_register b "x" n in
+  Array.iter (fun q -> Builder.h b q) (Register.qubits e);
+  Mod_mul.modexp engine b ~a ~p ~e ~x;
+  let r = Sim.run_builder b ~inits:[ (x, 1) ] in
+  Printf.printf "  prepared sum_e |e>|7^e mod 15> with %d basis terms\n"
+    (State.num_terms r.Sim.state);
+  (* Read off the period classically from the entangled state. *)
+  let values =
+    List.filter_map
+      (fun (idx, _) ->
+        let v = ref 0 in
+        for k = n - 1 downto 0 do
+          v := (!v lsl 1) lor ((idx lsr Register.get x k) land 1)
+        done;
+        Some !v)
+      (State.to_alist r.Sim.state)
+    |> List.sort_uniq compare
+  in
+  Printf.printf "  distinct values of 7^e mod 15: {%s} -> order %d\n\n"
+    (String.concat ", " (List.map string_of_int values))
+    (List.length values)
+
+let modulus_for n =
+  (* an odd constant near 2^n with mixed bit pattern *)
+  ((1 lsl n) - 1) land max_int lor 1
+
+let measure_cmult ~mbu ~engine_of n =
+  let p = modulus_for n in
+  Resources.measure ~n
+    ~build:(fun b ->
+      let c = Builder.fresh_register b "c" 1 in
+      let x = Builder.fresh_register b "x" n in
+      let t = Builder.fresh_register b "t" n in
+      let engine = engine_of ~mbu in
+      Mod_mul.cmult_add engine b ~ctrl:(Register.get c 0) ~a:(p / 3) ~p ~x
+        ~target:t)
+    ()
+
+let () =
+  print_endline
+    "=== Controlled modular multiplier: expected Toffoli per CMULT ===";
+  Printf.printf "  %4s %12s %12s %9s %10s\n" "n" "w/o MBU" "with MBU" "saving"
+    "qubits";
+  List.iter
+    (fun n ->
+      let engine_of ~mbu = Mod_mul.ripple_engine ~mbu Mod_add.spec_mixed in
+      let plain = measure_cmult ~mbu:false ~engine_of n in
+      let mbu = measure_cmult ~mbu:true ~engine_of n in
+      Printf.printf "  %4d %12.0f %12.0f %8.1f%% %10d\n" n
+        plain.Resources.toffoli mbu.Resources.toffoli
+        (100.
+        *. (plain.Resources.toffoli -. mbu.Resources.toffoli)
+        /. plain.Resources.toffoli)
+        mbu.Resources.qubits)
+    [ 8; 16; 32 ];
+  print_newline ()
+
+let () =
+  print_endline "=== Scaling to a full modular exponentiation ===";
+  (* A factoring-style run needs 2n controlled multiplications, each made of
+     2 CMULT ladders: extrapolate the per-CMULT measurement. *)
+  Printf.printf "  %6s %18s %18s %14s\n" "n" "Tof w/o MBU" "Tof with MBU" "Tof saved";
+  List.iter
+    (fun n ->
+      let engine_of ~mbu = Mod_mul.ripple_engine ~mbu Mod_add.spec_mixed in
+      let per_cmult mbu = (measure_cmult ~mbu ~engine_of n).Resources.toffoli in
+      let total mbu = per_cmult mbu *. float_of_int (2 * n * 2) in
+      let without = total false and with_mbu = total true in
+      Printf.printf "  %6d %18.3e %18.3e %14.3e\n" n without with_mbu
+        (without -. with_mbu))
+    [ 8; 16; 32 ];
+  print_endline
+    "\n  (per theorem 4.12, each controlled constant modular adder inside\n\
+    \   the ladder saves ~n Toffoli in expectation; over the O(n^2) adders\n\
+    \   of an exponentiation this compounds to an O(n^3) saving)"

@@ -1,0 +1,82 @@
+(* Range queries with the two-sided comparator (theorem 4.13).
+
+   The paper's final application: an oracle that checks y < x < z between
+   quantum registers — the building block of range-membership oracles in
+   Grover-style searches and quantum walk filters. MBU erases the
+   intermediate one-sided comparison for half price.
+
+     dune exec examples/range_query.exe *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let n = 4
+
+let () =
+  print_endline "=== Range oracle |x,y,z,t> -> |x,y,z, t XOR [x in (y,z)]> ===";
+  let cases = [ (5, 2, 9); (2, 2, 9); (9, 2, 9); (7, 3, 8); (1, 3, 8) ] in
+  List.iter
+    (fun (x_val, y_val, z_val) ->
+      let b = Builder.create () in
+      let x = Builder.fresh_register b "x" n in
+      let y = Builder.fresh_register b "y" n in
+      let z = Builder.fresh_register b "z" n in
+      let t = Builder.fresh_register b "t" 1 in
+      Mbu.in_range ~mbu:true Adder.Cdkpm b ~x ~y ~z ~target:(Register.get t 0);
+      let r =
+        Sim.run_builder b ~inits:[ (x, x_val); (y, y_val); (z, z_val); (t, 0) ]
+      in
+      Printf.printf "  x=%2d in (%d, %d)?  ->  %d\n" x_val y_val z_val
+        (Sim.register_value_exn r.Sim.state t))
+    cases;
+  print_newline ()
+
+let () =
+  print_endline "=== A superposed query: mark all x in (3, 10) at once ===";
+  (* Grover-oracle style: t starts in |->; amplitudes of in-range x flip
+     sign. Here we just write the flag bit and inspect the entangled state. *)
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" n in
+  let y = Builder.fresh_register b "y" n in
+  let z = Builder.fresh_register b "z" n in
+  let t = Builder.fresh_register b "t" 1 in
+  Array.iter (fun q -> Builder.h b q) (Register.qubits x);
+  Mbu.in_range ~mbu:true Adder.Cdkpm b ~x ~y ~z ~target:(Register.get t 0);
+  let r = Sim.run_builder b ~inits:[ (y, 3); (z, 10); (t, 0) ] in
+  let marked = ref 0 and unmarked = ref 0 in
+  List.iter
+    (fun (idx, _) ->
+      if (idx lsr Register.get t 0) land 1 = 1 then incr marked else incr unmarked)
+    (State.to_alist r.Sim.state);
+  Printf.printf "  of 16 superposed x values: %d marked, %d unmarked\n"
+    !marked !unmarked;
+  Printf.printf "  (expected: the 6 values 4..9 marked)\n\n"
+
+let () =
+  print_endline "=== Cost of the range oracle, with and without MBU ===";
+  Printf.printf "  %4s | %9s %9s | %9s %9s | %s\n" "n" "Tof" "Tof+MBU" "TofDepth"
+    "TD+MBU" "paper (thm 4.13)";
+  List.iter
+    (fun n ->
+      let measure mbu =
+        Resources.measure ~n
+          ~build:(fun b ->
+            let x = Builder.fresh_register b "x" n in
+            let y = Builder.fresh_register b "y" n in
+            let z = Builder.fresh_register b "z" n in
+            let t = Builder.fresh_register b "t" 1 in
+            Mbu.in_range ~mbu Adder.Cdkpm b ~x ~y ~z ~target:(Register.get t 0))
+          ()
+      in
+      let plain = measure false and mbu = measure true in
+      let params = Formulas.{ n; hp = 0; ha = 0 } in
+      let fp = (Formulas.in_range ~mbu:false params).Formulas.toffoli in
+      let fm = (Formulas.in_range ~mbu:true params).Formulas.toffoli in
+      Printf.printf "  %4d | %9.1f %9.1f | %9.1f %9.1f | %.0f vs %.1f\n" n
+        plain.Resources.toffoli mbu.Resources.toffoli
+        plain.Resources.toffoli_depth mbu.Resources.toffoli_depth fp fm)
+    [ 4; 8; 16; 32 ];
+  print_endline
+    "\n  The erased comparator is half of the 2 r_COMP share: a quarter of\n\
+    \  the comparator cost disappears in expectation (the paper's ~25%)."

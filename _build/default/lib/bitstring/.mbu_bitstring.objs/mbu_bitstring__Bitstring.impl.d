@@ -1,0 +1,1 @@
+lib/bitstring/bitstring.ml: Array Format Stdlib String

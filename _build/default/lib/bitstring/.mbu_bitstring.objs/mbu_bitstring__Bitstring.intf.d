@@ -1,0 +1,1 @@
+lib/bitstring/bitstring.mli: Format

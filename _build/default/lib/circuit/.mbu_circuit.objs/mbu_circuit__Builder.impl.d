@@ -1,0 +1,1 @@
+lib/circuit/builder.ml: Array Circuit Gate Instr List Register

@@ -1,0 +1,1 @@
+lib/circuit/builder.mli: Circuit Gate Instr Phase Register

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Counts Format Gate Instr Option

@@ -1,0 +1,1 @@
+lib/circuit/counts.ml: Float Format Fun Gate Instr List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/counts.mli: Format Gate Instr

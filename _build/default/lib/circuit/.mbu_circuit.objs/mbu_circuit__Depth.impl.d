@@ -1,0 +1,1 @@
+lib/circuit/depth.ml: Circuit Float Gate Hashtbl Instr List Option

@@ -1,0 +1,1 @@
+lib/circuit/depth.mli: Circuit Instr

@@ -1,0 +1,1 @@
+lib/circuit/draw.ml: Array Buffer Circuit Gate Hashtbl Instr List Option Printf Register String

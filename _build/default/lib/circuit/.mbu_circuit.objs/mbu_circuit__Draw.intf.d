@@ -1,0 +1,1 @@
+lib/circuit/draw.mli: Circuit Register

@@ -1,0 +1,1 @@
+lib/circuit/instr.ml: Format Gate List

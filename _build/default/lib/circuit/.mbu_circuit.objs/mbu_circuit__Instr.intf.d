@@ -1,0 +1,1 @@
+lib/circuit/instr.mli: Format Gate

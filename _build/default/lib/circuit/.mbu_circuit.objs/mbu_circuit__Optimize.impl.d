@@ -1,0 +1,1 @@
+lib/circuit/optimize.ml: Circuit Gate Instr List Phase

@@ -1,0 +1,1 @@
+lib/circuit/phase.ml: Float Format Stdlib

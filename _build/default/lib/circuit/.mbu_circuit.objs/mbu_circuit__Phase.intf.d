@@ -1,0 +1,1 @@
+lib/circuit/phase.mli: Format

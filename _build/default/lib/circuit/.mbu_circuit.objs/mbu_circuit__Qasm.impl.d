@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Buffer Circuit Gate Instr List Phase Printf String

@@ -1,0 +1,1 @@
+lib/circuit/register.ml: Array Format Gate Printf

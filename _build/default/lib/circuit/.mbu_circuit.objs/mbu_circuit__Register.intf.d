@@ -1,0 +1,1 @@
+lib/circuit/register.mli: Format Gate

@@ -1,0 +1,134 @@
+type t = {
+  mutable next_qubit : int;
+  mutable next_bit : int;
+  mutable input_qubits : int;
+  mutable free_pool : Gate.qubit list;
+  mutable live_ancillas : int;
+  mutable stack : Instr.t list list;  (* accumulators, innermost first, reversed *)
+}
+
+let create () =
+  { next_qubit = 0; next_bit = 0; input_qubits = 0; free_pool = [];
+    live_ancillas = 0; stack = [ [] ] }
+
+let fresh_qubit b =
+  if b.live_ancillas > 0 || b.free_pool <> [] then
+    invalid_arg "Builder.fresh_qubit: allocate inputs before ancillas";
+  let q = b.next_qubit in
+  b.next_qubit <- q + 1;
+  b.input_qubits <- b.input_qubits + 1;
+  q
+
+let fresh_register b name n =
+  Register.make ~name (Array.init n (fun _ -> fresh_qubit b))
+
+let fresh_bit b =
+  let c = b.next_bit in
+  b.next_bit <- c + 1;
+  c
+
+let alloc_ancilla b =
+  b.live_ancillas <- b.live_ancillas + 1;
+  match b.free_pool with
+  | q :: rest ->
+      b.free_pool <- rest;
+      q
+  | [] ->
+      let q = b.next_qubit in
+      b.next_qubit <- q + 1;
+      q
+
+let free_ancilla b q =
+  if List.mem q b.free_pool then invalid_arg "Builder.free_ancilla: double free";
+  b.live_ancillas <- b.live_ancillas - 1;
+  b.free_pool <- q :: b.free_pool
+
+let alloc_ancilla_register b name n =
+  Register.make ~name (Array.init n (fun _ -> alloc_ancilla b))
+
+let free_ancilla_register b r =
+  (* Free MSB-first so LSB wires come back out of the pool first. *)
+  let qs = Register.qubits r in
+  for i = Array.length qs - 1 downto 0 do
+    free_ancilla b qs.(i)
+  done
+
+let with_ancilla b f =
+  let q = alloc_ancilla b in
+  let r = f q in
+  free_ancilla b q;
+  r
+
+let with_ancilla_register b name n f =
+  let reg = alloc_ancilla_register b name n in
+  let r = f reg in
+  free_ancilla_register b reg;
+  r
+
+let num_qubits b = b.next_qubit
+let input_qubits b = b.input_qubits
+let ancilla_qubits b = b.next_qubit - b.input_qubits
+
+let push b i =
+  match b.stack with
+  | top :: rest -> b.stack <- (i :: top) :: rest
+  | [] -> assert false
+
+let gate b g =
+  Gate.validate g;
+  push b (Instr.Gate g)
+
+let x b q = gate b (Gate.X q)
+let z b q = gate b (Gate.Z q)
+let h b q = gate b (Gate.H q)
+let phase b q p = gate b (Gate.Phase (q, p))
+let cnot b ~control ~target = gate b (Gate.Cnot { control; target })
+let cz b a c = gate b (Gate.Cz (a, c))
+let swap b a c = gate b (Gate.Swap (a, c))
+let toffoli b ~c1 ~c2 ~target = gate b (Gate.Toffoli { c1; c2; target })
+let cphase b ~control ~target p = gate b (Gate.Cphase { control; target; phase = p })
+
+let measure ?(reset = false) b q =
+  let bit = fresh_bit b in
+  push b (Instr.Measure { qubit = q; bit; reset });
+  bit
+
+let enter b = b.stack <- [] :: b.stack
+
+let leave b =
+  match b.stack with
+  | top :: rest ->
+      b.stack <- rest;
+      List.rev top
+  | [] -> assert false
+
+let if_bit ?(value = true) b bit f =
+  enter b;
+  let body =
+    match f () with
+    | () -> leave b
+    | exception e ->
+        ignore (leave b);
+        raise e
+  in
+  push b (Instr.If_bit { bit; value; body })
+
+let capture b f =
+  enter b;
+  match f () with
+  | v -> (v, leave b)
+  | exception e ->
+      ignore (leave b);
+      raise e
+
+let emit b instrs = List.iter (push b) instrs
+
+let emit_adjoint b f =
+  let (), instrs = capture b f in
+  emit b (Instr.adjoint instrs)
+
+let to_circuit b =
+  match b.stack with
+  | [ top ] ->
+      Circuit.make ~num_qubits:b.next_qubit ~num_bits:b.next_bit (List.rev top)
+  | _ -> invalid_arg "Builder.to_circuit: unbalanced capture/if block"

@@ -1,0 +1,78 @@
+(** Imperative circuit builder.
+
+    All arithmetic constructors in [mbu.core] are functions that take a
+    builder plus the registers they act on and emit instructions into it.
+    This makes the paper's compositional style direct: a modular adder is
+    literally the sequence "plain adder; comparator; controlled subtractor;
+    comparator" emitted into one builder.
+
+    Ancilla discipline: {!alloc_ancilla} hands out a |0> wire, reusing
+    previously freed ones before widening the circuit, so the final
+    {!num_qubits} is the high-water mark of simultaneously live qubits —
+    the quantity the paper's "ancillas"/"logical qubits" columns measure.
+    {!free_ancilla} must only be called on wires that the emitted circuit
+    returns to |0> (this is checked at simulation time by
+    [Sim.run_on_basis ~check_ancillas]). *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Allocation} *)
+
+val fresh_qubit : t -> Gate.qubit
+val fresh_register : t -> string -> int -> Register.t
+val fresh_bit : t -> int
+
+val alloc_ancilla : t -> Gate.qubit
+val free_ancilla : t -> Gate.qubit -> unit
+
+val alloc_ancilla_register : t -> string -> int -> Register.t
+val free_ancilla_register : t -> Register.t -> unit
+
+val with_ancilla : t -> (Gate.qubit -> 'a) -> 'a
+val with_ancilla_register : t -> string -> int -> (Register.t -> 'a) -> 'a
+
+val num_qubits : t -> int
+(** High-water mark so far. *)
+
+val input_qubits : t -> int
+(** Number of wires allocated with {!fresh_qubit} / {!fresh_register} (i.e.
+    non-ancilla wires). *)
+
+val ancilla_qubits : t -> int
+(** [num_qubits - input_qubits]: peak ancilla usage. *)
+
+(** {1 Emission} *)
+
+val gate : t -> Gate.t -> unit
+val x : t -> Gate.qubit -> unit
+val z : t -> Gate.qubit -> unit
+val h : t -> Gate.qubit -> unit
+val phase : t -> Gate.qubit -> Phase.t -> unit
+val cnot : t -> control:Gate.qubit -> target:Gate.qubit -> unit
+val cz : t -> Gate.qubit -> Gate.qubit -> unit
+val swap : t -> Gate.qubit -> Gate.qubit -> unit
+val toffoli : t -> c1:Gate.qubit -> c2:Gate.qubit -> target:Gate.qubit -> unit
+val cphase : t -> control:Gate.qubit -> target:Gate.qubit -> Phase.t -> unit
+
+val measure : ?reset:bool -> t -> Gate.qubit -> int
+(** Emits a measurement into a fresh classical bit and returns the bit.
+    [reset] defaults to [false]. *)
+
+val if_bit : ?value:bool -> t -> int -> (unit -> unit) -> unit
+(** [if_bit b bit f] runs [f], collecting everything it emits into a block
+    conditioned on [bit = value] ([value] defaults to [true]). *)
+
+val capture : t -> (unit -> 'a) -> 'a * Instr.t list
+(** [capture b f] runs [f] and returns what it emitted {e without} adding it
+    to the circuit. Allocation effects (fresh wires, ancilla pool) persist. *)
+
+val emit : t -> Instr.t list -> unit
+
+val emit_adjoint : t -> (unit -> unit) -> unit
+(** [emit_adjoint b f] emits the adjoint of what [f] emits. [f] must emit a
+    measurement-free sequence. This is how "use [Q_ADD]{^ †} as a subtractor"
+    (theorem 2.22) is expressed. *)
+
+val to_circuit : t -> Circuit.t

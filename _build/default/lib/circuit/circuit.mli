@@ -1,0 +1,27 @@
+(** A complete circuit: an instruction program plus its wire/bit widths. *)
+
+type t = private {
+  num_qubits : int;
+  num_bits : int;
+  instrs : Instr.t list;
+}
+
+val make : ?num_qubits:int -> ?num_bits:int -> Instr.t list -> t
+(** Widths default to (1 + the largest index used). Raises
+    [Invalid_argument] if an explicit width is too small or a gate is
+    malformed (see {!Gate.validate}). *)
+
+val adjoint : t -> t
+(** Raises [Invalid_argument] on circuits containing measurements
+    (remark 2.23). *)
+
+val counts : ?mode:Counts.mode -> t -> Counts.t
+(** Defaults to [Worst]. *)
+
+val num_gates : t -> int
+val is_unitary : t -> bool
+
+val append : t -> t -> t
+(** Sequential composition on a shared wire numbering. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(** Gate counting, with the paper's three accounting modes.
+
+    The MBU lemma (lemma 4.1) makes gate costs random variables: each
+    measurement-conditioned block executes with probability 1/2 when the
+    measured qubit came from an X-basis-style measurement of a balanced
+    garbage bit. The paper reports costs "in expectation" over that Bernoulli
+    distribution; this module also offers worst-case (every conditional
+    taken) and best-case (none taken) accounting. Counts are floats because
+    expected counts are fractional (e.g. 3.5 n Toffoli for theorem 4.4). *)
+
+type t = {
+  x : float;
+  z : float;
+  h : float;
+  phase : float;
+  cnot : float;
+  cz : float;
+  swap : float;
+  toffoli : float;
+  cphase : float;
+  measure : float;
+}
+
+type mode =
+  | Worst  (** every conditional block executes *)
+  | Best  (** no conditional block executes *)
+  | Expected of float
+      (** each conditional block executes with this probability,
+          independently; [Expected 0.5] is the paper's cost model *)
+
+val zero : t
+val add : t -> t -> t
+val scale : float -> t -> t
+val of_gate : Gate.t -> t
+
+val of_instrs : mode:mode -> Instr.t list -> t
+(** Count the gates of a program. Measurements count in [measure] only; the
+    outcome-conditioned reset X of a [Measure ~reset:true] is not counted as
+    a gate. *)
+
+val cnot_cz : t -> float
+(** The paper's combined "CNOT,CZ" column of table 1. *)
+
+val two_qubit : t -> float
+(** CNOT + CZ + SWAP + controlled-phase. *)
+
+val total_gates : t -> float
+
+val qft_gates : int -> t
+(** [qft_gates m]: gate count of a textbook [QFT_m] — [m] Hadamards and
+    [m (m-1) / 2] controlled rotations (remark 1.1). Used to express
+    Draper-adder costs in "QFT units" as table 1 does. *)
+
+val qft_units : m:int -> t -> float
+(** [(h + phase + cphase)] of the count, normalized by the same quantity for
+    one [QFT_m]. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,138 @@
+(* Each drawn item occupies one or more cells in a column; columns are packed
+   greedily: a gate goes in the first column where the whole vertical span
+   [min wire, max wire] is free. *)
+
+type cell = { glyph : string; connect : bool }
+
+type item = {
+  cells : (int * cell) list;  (* wire -> cell *)
+  span_lo : int;
+  span_hi : int;
+  conditional : bool;
+}
+
+let item_of_gate ~conditional g =
+  let cellify pairs =
+    let wires = List.map fst pairs in
+    { cells = List.map (fun (w, s) -> (w, { glyph = s; connect = true })) pairs;
+      span_lo = List.fold_left min max_int wires;
+      span_hi = List.fold_left max min_int wires;
+      conditional }
+  in
+  match g with
+  | Gate.X q -> cellify [ (q, "X") ]
+  | Gate.Z q -> cellify [ (q, "Z") ]
+  | Gate.H q -> cellify [ (q, "H") ]
+  | Gate.Phase (q, _) -> cellify [ (q, "R") ]
+  | Gate.Cnot { control; target } -> cellify [ (control, "*"); (target, "+") ]
+  | Gate.Cz (a, b) -> cellify [ (a, "*"); (b, "*") ]
+  | Gate.Swap (a, b) -> cellify [ (a, "x"); (b, "x") ]
+  | Gate.Toffoli { c1; c2; target } ->
+      cellify [ (c1, "*"); (c2, "*"); (target, "+") ]
+  | Gate.Cphase { control; target; _ } -> cellify [ (control, "*"); (target, "R") ]
+
+let item_of_measure q =
+  { cells = [ (q, { glyph = "M"; connect = false }) ];
+    span_lo = q; span_hi = q; conditional = false }
+
+let flatten instrs =
+  let rec go conditional acc = function
+    | [] -> acc
+    | Instr.Gate g :: rest -> go conditional (item_of_gate ~conditional g :: acc) rest
+    | Instr.Measure { qubit; _ } :: rest ->
+        go conditional (item_of_measure qubit :: acc) rest
+    | Instr.If_bit { body; _ } :: rest ->
+        let acc = go true acc body in
+        go conditional acc rest
+  in
+  List.rev (go false [] instrs)
+
+(* Greedy column packing preserving order per wire. *)
+let columns num_qubits items =
+  let frontier = Array.make (max num_qubits 1) 0 in
+  let cols : item list array ref = ref (Array.make 16 []) in
+  let ensure n =
+    if n > Array.length !cols then begin
+      let bigger = Array.make (max n (2 * Array.length !cols)) [] in
+      Array.blit !cols 0 bigger 0 (Array.length !cols);
+      cols := bigger
+    end
+  in
+  let place item =
+    let col = ref 0 in
+    for w = item.span_lo to item.span_hi do
+      if frontier.(w) > !col then col := frontier.(w)
+    done;
+    ensure (!col + 1);
+    !cols.(!col) <- item :: !cols.(!col);
+    for w = item.span_lo to item.span_hi do
+      frontier.(w) <- !col + 1
+    done;
+    !col
+  in
+  let used = List.fold_left (fun m item -> max m (place item + 1)) 0 items in
+  Array.sub !cols 0 used
+
+let render ?labels (c : Circuit.t) =
+  let labels = Option.value labels ~default:(Printf.sprintf "q%d") in
+  let n = c.num_qubits in
+  let items = flatten c.instrs in
+  let cols = columns n items in
+  let ncols = Array.length cols in
+  let grid = Array.make_matrix n ncols "-" in
+  let vert = Array.make_matrix n ncols false in
+  let cond_col = Array.make ncols false in
+  Array.iteri
+    (fun j col_items ->
+      List.iter
+        (fun item ->
+          if item.conditional then cond_col.(j) <- true;
+          List.iter (fun (w, cell) -> grid.(w).(j) <- cell.glyph) item.cells;
+          if item.span_hi > item.span_lo then
+            for w = item.span_lo to item.span_hi do
+              vert.(w).(j) <- true
+            done)
+        col_items)
+    cols;
+  let buf = Buffer.create 1024 in
+  let label_width =
+    let rec widest acc i = if i >= n then acc else widest (max acc (String.length (labels i))) (i + 1) in
+    widest 0 0
+  in
+  (* Header marks conditional columns. *)
+  Buffer.add_string buf (String.make label_width ' ');
+  Buffer.add_string buf "  ";
+  for j = 0 to ncols - 1 do
+    Buffer.add_string buf (if cond_col.(j) then " ? " else "   ")
+  done;
+  Buffer.add_char buf '\n';
+  for w = 0 to n - 1 do
+    let lbl = labels w in
+    Buffer.add_string buf lbl;
+    Buffer.add_string buf (String.make (label_width - String.length lbl) ' ');
+    Buffer.add_string buf ": ";
+    for j = 0 to ncols - 1 do
+      let g = grid.(w).(j) in
+      if g = "-" && vert.(w).(j) then Buffer.add_string buf "-|-"
+      else begin
+        Buffer.add_char buf '-';
+        Buffer.add_string buf g;
+        Buffer.add_char buf '-'
+      end
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let render_registers regs (c : Circuit.t) =
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      Array.iteri
+        (fun i q -> Hashtbl.replace names q (Printf.sprintf "%s%d" (Register.name r) i))
+        (Register.qubits r))
+    regs;
+  let labels w =
+    match Hashtbl.find_opt names w with Some s -> s | None -> Printf.sprintf "a%d" w
+  in
+  render ~labels c

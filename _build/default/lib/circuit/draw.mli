@@ -1,0 +1,13 @@
+(** ASCII rendering of small circuits.
+
+    Produces a wire-per-row diagram with ASAP-packed columns, in the spirit
+    of the paper's circuit figures. Intended for the examples and the CLI;
+    readable up to a couple dozen qubits. Gates inside measurement-
+    conditioned blocks are drawn in a column flagged with [?] on the header
+    row. *)
+
+val render : ?labels:(int -> string) -> Circuit.t -> string
+(** [labels] maps a wire index to a row label (default ["q<i>"]). *)
+
+val render_registers : Register.t list -> Circuit.t -> string
+(** Convenience: label wires by register name and bit index. *)

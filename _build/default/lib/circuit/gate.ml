@@ -1,0 +1,67 @@
+type qubit = int
+
+type t =
+  | X of qubit
+  | Z of qubit
+  | H of qubit
+  | Phase of qubit * Phase.t
+  | Cnot of { control : qubit; target : qubit }
+  | Cz of qubit * qubit
+  | Swap of qubit * qubit
+  | Toffoli of { c1 : qubit; c2 : qubit; target : qubit }
+  | Cphase of { control : qubit; target : qubit; phase : Phase.t }
+
+let qubits = function
+  | X q | Z q | H q | Phase (q, _) -> [ q ]
+  | Cnot { control; target } -> [ control; target ]
+  | Cz (a, b) | Swap (a, b) -> [ a; b ]
+  | Toffoli { c1; c2; target } -> [ c1; c2; target ]
+  | Cphase { control; target; _ } -> [ control; target ]
+
+let adjoint = function
+  | (X _ | Z _ | H _ | Cnot _ | Cz _ | Swap _ | Toffoli _) as g -> g
+  | Phase (q, p) -> Phase (q, Phase.neg p)
+  | Cphase { control; target; phase } ->
+      Cphase { control; target; phase = Phase.neg phase }
+
+let map_qubits f = function
+  | X q -> X (f q)
+  | Z q -> Z (f q)
+  | H q -> H (f q)
+  | Phase (q, p) -> Phase (f q, p)
+  | Cnot { control; target } -> Cnot { control = f control; target = f target }
+  | Cz (a, b) -> Cz (f a, f b)
+  | Swap (a, b) -> Swap (f a, f b)
+  | Toffoli { c1; c2; target } -> Toffoli { c1 = f c1; c2 = f c2; target = f target }
+  | Cphase { control; target; phase } ->
+      Cphase { control = f control; target = f target; phase }
+
+let validate g =
+  let qs = qubits g in
+  if List.exists (fun q -> q < 0) qs then invalid_arg "Gate: negative wire";
+  let sorted = List.sort_uniq Stdlib.compare qs in
+  if List.length sorted <> List.length qs then invalid_arg "Gate: repeated wire"
+
+let is_toffoli = function Toffoli _ -> true | _ -> false
+
+let equal a b =
+  match a, b with
+  | Cz (x, y), Cz (x', y') | Swap (x, y), Swap (x', y') ->
+      (x = x' && y = y') || (x = y' && y = x')
+  | Cphase { control = x; target = y; phase }, Cphase { control = x'; target = y'; phase = phase' } ->
+      Phase.equal phase phase' && ((x = x' && y = y') || (x = y' && y = x'))
+  | Toffoli { c1; c2; target }, Toffoli { c1 = c1'; c2 = c2'; target = t' } ->
+      target = t' && ((c1 = c1' && c2 = c2') || (c1 = c2' && c2 = c1'))
+  | _ -> a = b
+
+let pp fmt = function
+  | X q -> Format.fprintf fmt "X %d" q
+  | Z q -> Format.fprintf fmt "Z %d" q
+  | H q -> Format.fprintf fmt "H %d" q
+  | Phase (q, p) -> Format.fprintf fmt "R(%a) %d" Phase.pp p q
+  | Cnot { control; target } -> Format.fprintf fmt "CNOT %d -> %d" control target
+  | Cz (a, b) -> Format.fprintf fmt "CZ %d %d" a b
+  | Swap (a, b) -> Format.fprintf fmt "SWAP %d %d" a b
+  | Toffoli { c1; c2; target } -> Format.fprintf fmt "TOF %d %d -> %d" c1 c2 target
+  | Cphase { control; target; phase } ->
+      Format.fprintf fmt "C-R(%a) %d -> %d" Phase.pp phase control target

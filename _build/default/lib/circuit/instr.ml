@@ -1,0 +1,57 @@
+type t =
+  | Gate of Gate.t
+  | Measure of { qubit : Gate.qubit; bit : int; reset : bool }
+  | If_bit of { bit : int; value : bool; body : t list }
+
+let adjoint instrs =
+  let adj_one = function
+    | Gate g -> Gate (Gate.adjoint g)
+    | Measure _ | If_bit _ ->
+        invalid_arg "Instr.adjoint: circuit contains a measurement"
+  in
+  List.rev_map adj_one instrs
+
+let rec iter_gates f = function
+  | [] -> ()
+  | Gate g :: rest ->
+      f g;
+      iter_gates f rest
+  | Measure _ :: rest -> iter_gates f rest
+  | If_bit { body; _ } :: rest ->
+      iter_gates f body;
+      iter_gates f rest
+
+let rec fold_instrs f acc = function
+  | [] -> acc
+  | (Gate _ as i) :: rest | (Measure _ as i) :: rest -> fold_instrs f (f acc i) rest
+  | (If_bit { body; _ } as i) :: rest ->
+      fold_instrs f (fold_instrs f (f acc i) body) rest
+
+let max_qubit instrs =
+  fold_instrs
+    (fun acc i ->
+      match i with
+      | Gate g -> List.fold_left max acc (Gate.qubits g)
+      | Measure { qubit; _ } -> max acc qubit
+      | If_bit _ -> acc)
+    (-1) instrs
+
+let max_bit instrs =
+  fold_instrs
+    (fun acc i ->
+      match i with
+      | Gate _ -> acc
+      | Measure { bit; _ } -> max acc bit
+      | If_bit { bit; _ } -> max acc bit)
+    (-1) instrs
+
+let count_instrs instrs = fold_instrs (fun acc _ -> acc + 1) 0 instrs
+
+let rec pp fmt = function
+  | Gate g -> Gate.pp fmt g
+  | Measure { qubit; bit; reset } ->
+      Format.fprintf fmt "M%s %d -> c%d" (if reset then "r" else "") qubit bit
+  | If_bit { bit; value; body } ->
+      Format.fprintf fmt "@[<v 2>if c%d = %b {%a}@]" bit value
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp)
+        body

@@ -1,0 +1,37 @@
+(** Adaptive circuit instructions.
+
+    On top of unitary gates, the paper's circuits need two non-unitary
+    primitives: single-qubit computational-basis measurement, and blocks of
+    gates executed conditionally on a classical measurement outcome. These
+    appear in Gidney's measurement-based uncomputation of the temporary
+    logical-AND (figure 11) and in the MBU lemma itself (figure 24). *)
+
+type t =
+  | Gate of Gate.t
+  | Measure of { qubit : Gate.qubit; bit : int; reset : bool }
+      (** Measure [qubit] in the computational basis, store the outcome in
+          classical [bit]. If [reset], the qubit is returned to |0> after the
+          measurement (an outcome-conditioned X that we do not count as a
+          gate, matching the usual measure-and-reset primitive). *)
+  | If_bit of { bit : int; value : bool; body : t list }
+      (** Execute [body] iff classical [bit] equals [value]. *)
+
+val adjoint : t list -> t list
+(** Adjoint of a measurement-free instruction sequence. Raises
+    [Invalid_argument] if the sequence contains [Measure] or [If_bit]
+    (remark 2.23: circuits involving a measurement are generally not
+    invertible). *)
+
+val iter_gates : (Gate.t -> unit) -> t list -> unit
+(** Visit every gate, including those inside conditional bodies. *)
+
+val max_qubit : t list -> int
+(** Largest wire index touched, or [-1] for the empty program. *)
+
+val max_bit : t list -> int
+(** Largest classical bit index used, or [-1]. *)
+
+val count_instrs : t list -> int
+(** Total number of instructions, conditionals counted with their bodies. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+let disjoint g h =
+  let qs = Gate.qubits g in
+  List.for_all (fun q -> not (List.mem q qs)) (Gate.qubits h)
+
+(* Try to fuse [g] with an earlier gate, walking back through gates on
+   disjoint wires. Returns the updated reversed-prefix when something
+   happened. *)
+let rec fuse_back rev_prefix g =
+  match rev_prefix with
+  | [] -> None
+  | h :: rest -> (
+      match g, h with
+      (* merge single-qubit rotations on the same wire *)
+      | Gate.Phase (q, p), Gate.Phase (q', p') when q = q' ->
+          let p'' = Phase.add p p' in
+          if Phase.is_zero p'' then Some rest
+          else Some (Gate.Phase (q, p'') :: rest)
+      (* merge controlled rotations on the same wire pair *)
+      | ( Gate.Cphase { control = c; target = t; phase = p },
+          Gate.Cphase { control = c'; target = t'; phase = p' } )
+        when (c = c' && t = t') || (c = t' && t = c') ->
+          let p'' = Phase.add p p' in
+          if Phase.is_zero p'' then Some rest
+          else Some (Gate.Cphase { control = c; target = t; phase = p'' } :: rest)
+      (* adjacent inverse pair *)
+      | _ when Gate.equal h (Gate.adjoint g) -> Some rest
+      (* slide past disjoint gates *)
+      | _ when disjoint g h -> (
+          match fuse_back rest g with
+          | Some rest' -> Some (h :: rest')
+          | None -> None)
+      | _ -> None)
+
+let optimize_gates gates =
+  let step acc g =
+    match fuse_back acc g with Some acc' -> acc' | None -> g :: acc
+  in
+  List.rev (List.fold_left step [] gates)
+
+(* Split into maximal gate runs; measurements/conditionals are barriers. *)
+let rec optimize_instrs instrs =
+  let flush run acc =
+    if run = [] then acc
+    else
+      List.rev_append
+        (List.map (fun g -> Instr.Gate g) (optimize_gates (List.rev run)))
+        acc
+  in
+  let rec go run acc = function
+    | [] -> List.rev (flush run acc)
+    | Instr.Gate g :: rest -> go (g :: run) acc rest
+    | (Instr.Measure _ as i) :: rest -> go [] (i :: flush run acc) rest
+    | Instr.If_bit { bit; value; body } :: rest ->
+        let body = optimize_instrs body in
+        go [] (Instr.If_bit { bit; value; body } :: flush run acc) rest
+  in
+  go [] [] instrs
+
+let rec fixpoint prev =
+  let next = optimize_instrs prev in
+  if Instr.count_instrs next = Instr.count_instrs prev then next
+  else fixpoint next
+
+let instrs = fixpoint
+
+let circuit (c : Circuit.t) =
+  Circuit.make ~num_qubits:c.Circuit.num_qubits ~num_bits:c.Circuit.num_bits
+    (instrs c.Circuit.instrs)

@@ -1,0 +1,24 @@
+(** Peephole circuit optimization.
+
+    The paper repeatedly composes Fourier-basis blocks and cancels the
+    adjacent IQFT/QFT pairs by hand ("The IQFT of Q_ADD cancels with the QFT
+    of Q_COMP(p)...", proposition 3.7). This pass performs the same
+    simplification mechanically on any circuit:
+
+    - adjacent inverse gates cancel (X-X, H-H, CNOT-CNOT, Toffoli-Toffoli,
+      SWAP-SWAP, CZ-CZ, and phase rotations with opposite angles), where
+      "adjacent" means separated only by gates acting on disjoint wires;
+    - rotations on the same wire(s) merge ([R(a) R(b) -> R(a+b)]) and vanish
+      when the angle reduces to zero.
+
+    Measurements and classically controlled blocks are optimization
+    barriers: gates never move across them, and conditional bodies are
+    optimized recursively in isolation, so the transformation commutes with
+    every measurement outcome — optimized and original circuits are
+    observationally identical (this is property-tested against the
+    simulator). *)
+
+val instrs : Instr.t list -> Instr.t list
+(** Run the rewriting to a fixed point. *)
+
+val circuit : Circuit.t -> Circuit.t

@@ -1,0 +1,181 @@
+(* Serialization: one statement per line; conditional blocks use explicit
+   braces on their own lines, so the parser can be a simple recursive
+   line-reader. *)
+
+let angle_to_string p =
+  (* theta = 2 pi num / 2^k = pi * num / 2^(k-1) *)
+  let num = Phase.num p and k = Phase.log2_den p in
+  if num = 0 then "0"
+  else if k = 0 then "pi*0/1"
+  else Printf.sprintf "pi*%d/%d" num (1 lsl (k - 1))
+
+let gate_to_string = function
+  | Gate.X q -> Printf.sprintf "x q[%d];" q
+  | Gate.Z q -> Printf.sprintf "z q[%d];" q
+  | Gate.H q -> Printf.sprintf "h q[%d];" q
+  | Gate.Phase (q, p) -> Printf.sprintf "p(%s) q[%d];" (angle_to_string p) q
+  | Gate.Cnot { control; target } -> Printf.sprintf "cx q[%d], q[%d];" control target
+  | Gate.Cz (a, b) -> Printf.sprintf "cz q[%d], q[%d];" a b
+  | Gate.Swap (a, b) -> Printf.sprintf "swap q[%d], q[%d];" a b
+  | Gate.Toffoli { c1; c2; target } ->
+      Printf.sprintf "ccx q[%d], q[%d], q[%d];" c1 c2 target
+  | Gate.Cphase { control; target; phase } ->
+      Printf.sprintf "cp(%s) q[%d], q[%d];" (angle_to_string phase) control target
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  let line indent s =
+    Buffer.add_string buf (String.make (2 * indent) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  line 0 "OPENQASM 3.0;";
+  line 0 "include \"stdgates.inc\";";
+  line 0 (Printf.sprintf "qubit[%d] q;" (max c.Circuit.num_qubits 1));
+  line 0 (Printf.sprintf "bit[%d] c;" (max c.Circuit.num_bits 1));
+  let rec emit indent = function
+    | Instr.Gate g -> line indent (gate_to_string g)
+    | Instr.Measure { qubit; bit; reset } ->
+        line indent (Printf.sprintf "c[%d] = measure q[%d];" bit qubit);
+        if reset then line indent (Printf.sprintf "reset q[%d];" qubit)
+    | Instr.If_bit { bit; value; body } ->
+        line indent
+          (Printf.sprintf "if (c[%d] == %d) {" bit (if value then 1 else 0));
+        List.iter (emit (indent + 1)) body;
+        line indent "}"
+  in
+  List.iter (emit 0) c.Circuit.instrs;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing the emitted subset *)
+
+let fail_at lineno msg = failwith (Printf.sprintf "Qasm.of_string: line %d: %s" lineno msg)
+
+let parse_angle lineno s =
+  if s = "0" then Phase.zero
+  else
+    match String.split_on_char '*' s with
+    | [ "pi"; frac ] -> (
+        match String.split_on_char '/' frac with
+        | [ num; den ] -> (
+            match int_of_string_opt num, int_of_string_opt den with
+            | Some num, Some den when den > 0 && den land (den - 1) = 0 ->
+                let rec log2 d acc = if d = 1 then acc else log2 (d lsr 1) (acc + 1) in
+                Phase.make ~num ~log2_den:(log2 den 0 + 1)
+            | _ -> fail_at lineno ("bad angle " ^ s))
+        | _ -> fail_at lineno ("bad angle " ^ s))
+    | _ -> fail_at lineno ("bad angle " ^ s)
+
+(* Extract all bracketed integers, e.g. "cx q[0], q[3];" -> [0; 3]. *)
+let indices lineno s =
+  let out = ref [] in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    (match s.[!i] with
+    | '[' ->
+        let j = try String.index_from s !i ']' with Not_found -> fail_at lineno "unclosed [" in
+        let num = String.sub s (!i + 1) (j - !i - 1) in
+        (match int_of_string_opt num with
+        | Some v -> out := v :: !out
+        | None -> fail_at lineno ("bad index " ^ num));
+        i := j
+    | _ -> ());
+    incr i
+  done;
+  List.rev !out
+
+let paren_arg lineno s =
+  match String.index_opt s '(', String.index_opt s ')' with
+  | Some i, Some j when j > i -> String.sub s (i + 1) (j - i - 1)
+  | _ -> fail_at lineno "missing (angle)"
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && not (String.length l >= 2 && String.sub l 0 2 = "//"))
+  in
+  let lines = ref lines in
+  let peek () = match !lines with [] -> None | l :: _ -> Some l in
+  let advance () = match !lines with [] -> () | _ :: rest -> lines := rest in
+  let num_qubits = ref 0 and num_bits = ref 0 in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let rec parse_block acc =
+    match peek () with
+    | None -> List.rev acc
+    | Some (_, "}") ->
+        advance ();
+        List.rev acc
+    | Some (lineno, l) ->
+        advance ();
+        let instr =
+          if starts_with "OPENQASM" l || starts_with "include" l then None
+          else if starts_with "qubit[" l then begin
+            num_qubits := List.hd (indices lineno l);
+            None
+          end
+          else if starts_with "bit[" l then begin
+            num_bits := List.hd (indices lineno l);
+            None
+          end
+          else if starts_with "if (" l then begin
+            match indices lineno l with
+            | [ bit ] ->
+                let value =
+                  if String.length l >= 4 && String.sub l (String.length l - 4) 4 = "1) {"
+                  then true
+                  else if String.sub l (String.length l - 4) 4 = "0) {" then false
+                  else fail_at lineno "bad if condition"
+                in
+                let body = parse_block [] in
+                Some (Instr.If_bit { bit; value; body })
+            | _ -> fail_at lineno "bad if"
+          end
+          else if starts_with "c[" l && String.contains l '=' then begin
+            match indices lineno l with
+            | [ bit; qubit ] ->
+                (* a following "reset q[qubit];" folds into the measure *)
+                let reset =
+                  match peek () with
+                  | Some (_, r)
+                    when r = Printf.sprintf "reset q[%d];" qubit ->
+                      advance ();
+                      true
+                  | _ -> false
+                in
+                Some (Instr.Measure { qubit; bit; reset })
+            | _ -> fail_at lineno "bad measure"
+          end
+          else
+            let idx = indices lineno l in
+            let g =
+              if starts_with "x " l then Gate.X (List.nth idx 0)
+              else if starts_with "z " l then Gate.Z (List.nth idx 0)
+              else if starts_with "h " l then Gate.H (List.nth idx 0)
+              else if starts_with "p(" l then
+                Gate.Phase (List.nth idx 0, parse_angle lineno (paren_arg lineno l))
+              else if starts_with "cx " l then
+                Gate.Cnot { control = List.nth idx 0; target = List.nth idx 1 }
+              else if starts_with "cz " l then Gate.Cz (List.nth idx 0, List.nth idx 1)
+              else if starts_with "swap " l then Gate.Swap (List.nth idx 0, List.nth idx 1)
+              else if starts_with "ccx " l then
+                Gate.Toffoli
+                  { c1 = List.nth idx 0; c2 = List.nth idx 1; target = List.nth idx 2 }
+              else if starts_with "cp(" l then
+                Gate.Cphase
+                  { control = List.nth idx 0; target = List.nth idx 1;
+                    phase = parse_angle lineno (paren_arg lineno l) }
+              else fail_at lineno ("unsupported statement: " ^ l)
+            in
+            Some (Instr.Gate g)
+        in
+        let acc = match instr with Some i -> i :: acc | None -> acc in
+        parse_block acc
+  in
+  let instrs = parse_block [] in
+  Circuit.make ~num_qubits:!num_qubits ~num_bits:!num_bits instrs

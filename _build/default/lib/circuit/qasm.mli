@@ -1,0 +1,20 @@
+(** OpenQASM 3 interchange.
+
+    [to_string] serializes any circuit — including mid-circuit measurement
+    and classically controlled blocks, which OpenQASM 3 supports natively —
+    so circuits built here can be loaded into mainstream toolchains.
+    [of_string] parses back the exact subset this module emits (it is not a
+    general OpenQASM front end); emission followed by parsing is the
+    identity up to formatting, which the test suite verifies semantically on
+    random adaptive circuits.
+
+    Gate mapping: X/Z/H as themselves, [Phase] as [p(angle)], CNOT as [cx],
+    CZ as [cz], SWAP as [swap], Toffoli as [ccx], [Cphase] as [cp(angle)].
+    All angles are exact dyadic multiples of pi, printed as [pi*num/den].
+    A measure-and-reset is emitted as a measurement followed by [reset]. *)
+
+val to_string : Circuit.t -> string
+
+val of_string : string -> Circuit.t
+(** Raises [Failure] with a line-numbered message on input outside the
+    emitted subset. *)

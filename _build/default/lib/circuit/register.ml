@@ -1,0 +1,22 @@
+type t = { name : string; qubits : Gate.qubit array }
+
+let make ~name qubits = { name; qubits = Array.copy qubits }
+let name r = r.name
+let length r = Array.length r.qubits
+
+let get r i =
+  if i < 0 || i >= Array.length r.qubits then
+    invalid_arg (Printf.sprintf "Register.get %s.%d" r.name i);
+  r.qubits.(i)
+
+let qubits r = Array.copy r.qubits
+let to_list r = Array.to_list r.qubits
+
+let sub r ~pos ~len =
+  { name = Printf.sprintf "%s[%d:%d]" r.name pos (pos + len); qubits = Array.sub r.qubits pos len }
+
+let append lo hi =
+  { name = lo.name ^ "+" ^ hi.name; qubits = Array.append lo.qubits hi.qubits }
+
+let extend r q = { name = r.name; qubits = Array.append r.qubits [| q |] }
+let pp fmt r = Format.fprintf fmt "%s(%d)" r.name (Array.length r.qubits)

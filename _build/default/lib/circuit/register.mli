@@ -1,0 +1,33 @@
+(** Named quantum registers.
+
+    A register is an ordered collection of wire indices, LSB first, matching
+    the paper's convention that qubit [A_i] of register [A] stores the bit of
+    weight [2^i]. *)
+
+type t
+
+val make : name:string -> int array -> t
+val name : t -> string
+val length : t -> int
+
+val get : t -> int -> Gate.qubit
+(** [get r i] is the wire holding bit [i]. Raises [Invalid_argument] if out
+    of bounds. *)
+
+val qubits : t -> Gate.qubit array
+(** A copy of the underlying wires, LSB first. *)
+
+val to_list : t -> Gate.qubit list
+
+val sub : t -> pos:int -> len:int -> t
+(** [sub r ~pos ~len] is the register formed by bits [pos .. pos+len-1]. *)
+
+val append : t -> t -> t
+(** [append lo hi] concatenates, [lo] holding the least significant bits.
+    Used e.g. to view an [n]-bit register plus its overflow qubit as one
+    [(n+1)]-bit register. *)
+
+val extend : t -> Gate.qubit -> t
+(** [extend r q] appends a single most significant qubit. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/adder.ml: Adder_cdkpm Adder_draper Adder_gidney Adder_vbe Array Builder Increment Logical_and Mbu_circuit Printf Qft Register

@@ -1,0 +1,1 @@
+lib/core/adder.mli: Builder Gate Mbu_circuit Register

@@ -1,0 +1,1 @@
+lib/core/adder_big.ml: Adder Bitstring Builder Mbu_bitstring Mbu_circuit Printf Register

@@ -1,0 +1,1 @@
+lib/core/adder_big.mli: Adder Bitstring Builder Gate Mbu_bitstring Mbu_circuit Register

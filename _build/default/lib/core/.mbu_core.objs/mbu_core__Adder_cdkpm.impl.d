@@ -1,0 +1,1 @@
+lib/core/adder_cdkpm.ml: Array Builder Instr Mbu_circuit Register

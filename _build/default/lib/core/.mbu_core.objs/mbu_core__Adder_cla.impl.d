@@ -1,0 +1,1 @@
+lib/core/adder_cla.ml: Array Builder Hashtbl List Logical_and Mbu_circuit Register

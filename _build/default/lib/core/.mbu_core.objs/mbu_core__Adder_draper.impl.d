@@ -1,0 +1,1 @@
+lib/core/adder_draper.ml: Builder Logical_and Mbu_circuit Phase Qft Register

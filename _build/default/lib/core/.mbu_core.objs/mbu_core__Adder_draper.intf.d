@@ -1,0 +1,1 @@
+lib/core/adder_draper.mli: Builder Gate Mbu_circuit Register

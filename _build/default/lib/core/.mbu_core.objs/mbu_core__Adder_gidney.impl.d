@@ -1,0 +1,1 @@
+lib/core/adder_gidney.ml: Array Builder Logical_and Mbu_circuit Register

@@ -1,0 +1,1 @@
+lib/core/adder_gidney.mli: Builder Gate Mbu_circuit Register

@@ -1,0 +1,1 @@
+lib/core/adder_vbe.ml: Array Builder Mbu_circuit Register

@@ -1,0 +1,1 @@
+lib/core/adder_vbe.mli: Builder Gate Mbu_circuit Register

@@ -1,0 +1,1 @@
+lib/core/coset.ml: Adder Builder Mbu_circuit Register

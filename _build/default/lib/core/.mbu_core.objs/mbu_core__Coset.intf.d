@@ -1,0 +1,1 @@
+lib/core/coset.mli: Adder Builder Mbu_circuit Register

@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Circuit Counts Gate Instr List Mbu_circuit Phase

@@ -1,0 +1,1 @@
+lib/core/decompose.mli: Circuit Counts Gate Instr Mbu_circuit

@@ -1,0 +1,1 @@
+lib/core/divider.ml: Adder Builder Mbu_circuit Register

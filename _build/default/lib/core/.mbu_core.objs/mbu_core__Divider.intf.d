@@ -1,0 +1,1 @@
+lib/core/divider.mli: Adder Builder Mbu_circuit Register

@@ -1,0 +1,1 @@
+lib/core/ft_estimate.ml: Float Format Resources

@@ -1,0 +1,1 @@
+lib/core/ft_estimate.mli: Format Resources

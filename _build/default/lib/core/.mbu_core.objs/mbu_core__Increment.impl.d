@@ -1,0 +1,1 @@
+lib/core/increment.ml: Array Builder Logical_and Mbu_circuit Register

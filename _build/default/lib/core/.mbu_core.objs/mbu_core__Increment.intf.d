@@ -1,0 +1,1 @@
+lib/core/increment.mli: Builder Gate Mbu_circuit Register

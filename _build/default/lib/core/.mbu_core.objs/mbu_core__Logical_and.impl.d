@@ -1,0 +1,1 @@
+lib/core/logical_and.ml: Builder Mbu_circuit

@@ -1,0 +1,1 @@
+lib/core/logical_and.mli: Builder Gate Mbu_circuit

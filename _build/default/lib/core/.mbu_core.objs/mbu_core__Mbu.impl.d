@@ -1,0 +1,1 @@
+lib/core/mbu.ml: Adder Builder Mbu_circuit Register

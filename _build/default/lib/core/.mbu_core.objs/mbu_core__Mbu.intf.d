@@ -1,0 +1,1 @@
+lib/core/mbu.mli: Adder Builder Gate Mbu_circuit Register

@@ -1,0 +1,1 @@
+lib/core/mcx.ml: Builder Logical_and Mbu_circuit

@@ -1,0 +1,1 @@
+lib/core/mcx.mli: Builder Gate Mbu_circuit

@@ -1,0 +1,1 @@
+lib/core/mod_add.ml: Adder Adder_big Adder_draper Adder_vbe Bitstring Builder Logical_and Mbu Mbu_bitstring Mbu_circuit Printf Qft Register

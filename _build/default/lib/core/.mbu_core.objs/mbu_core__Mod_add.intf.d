@@ -1,0 +1,1 @@
+lib/core/mod_add.mli: Adder Builder Gate Mbu_bitstring Mbu_circuit Register

@@ -1,0 +1,1 @@
+lib/core/mod_mul.ml: Array Builder Gate Logical_and Mbu_circuit Mod_add Printf Qrom Register

@@ -1,0 +1,1 @@
+lib/core/mod_mul.mli: Builder Gate Mbu_circuit Mod_add Register

@@ -1,0 +1,1 @@
+lib/core/montgomery.ml: Adder Array Builder Mbu_circuit Register

@@ -1,0 +1,1 @@
+lib/core/montgomery.mli: Adder Builder Mbu_circuit Register

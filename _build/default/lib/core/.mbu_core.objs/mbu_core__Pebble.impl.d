@@ -1,0 +1,1 @@
+lib/core/pebble.ml: Array Builder Fun List Mbu_circuit Printf Register Result

@@ -1,0 +1,1 @@
+lib/core/pebble.mli: Builder Gate Mbu_circuit Register

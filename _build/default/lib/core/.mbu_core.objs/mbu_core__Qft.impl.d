@@ -1,0 +1,1 @@
+lib/core/qft.ml: Builder Counts Mbu_circuit Phase Register

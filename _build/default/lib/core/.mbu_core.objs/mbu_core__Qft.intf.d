@@ -1,0 +1,1 @@
+lib/core/qft.mli: Builder Counts Mbu_circuit Register

@@ -1,0 +1,1 @@
+lib/core/qrom.ml: Array Builder Logical_and Mbu_circuit Printf Register

@@ -1,0 +1,1 @@
+lib/core/qrom.mli: Builder Mbu_circuit Register

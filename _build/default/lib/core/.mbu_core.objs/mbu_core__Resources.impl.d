@@ -1,0 +1,1 @@
+lib/core/resources.ml: Builder Circuit Counts Depth Mbu_circuit Mbu_simulator Random

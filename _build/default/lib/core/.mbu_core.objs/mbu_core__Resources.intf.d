@@ -1,0 +1,1 @@
+lib/core/resources.mli: Builder Counts Mbu_circuit Random

@@ -1,0 +1,296 @@
+open Mbu_circuit
+
+type style = Vbe | Cdkpm | Gidney | Draper
+
+let all_styles = [ Vbe; Cdkpm; Gidney; Draper ]
+
+let style_name = function
+  | Vbe -> "vbe"
+  | Cdkpm -> "cdkpm"
+  | Gidney -> "gidney"
+  | Draper -> "draper"
+
+(* All four plain adders implement y <- (x + y) mod 2^(n+1) even when the
+   most significant qubit of y starts dirty: the top carry is XORed into y_n
+   rather than assumed zero. The subtraction and comparator constructions
+   below rely on this. *)
+let add style b ~x ~y =
+  match style with
+  | Vbe -> Adder_vbe.add b ~x ~y
+  | Cdkpm -> Adder_cdkpm.add b ~x ~y
+  | Gidney -> Adder_gidney.add b ~x ~y
+  | Draper -> Adder_draper.add b ~x ~y
+
+let is_unitary_style = function Vbe | Cdkpm | Draper -> true | Gidney -> false
+
+let complement_register b y =
+  Array.iter (fun q -> Builder.x b q) (Register.qubits y)
+
+(* Theorem 2.22, circuit (8): y - x = NOT (NOT y + x). *)
+let sub_via_complement style b ~x ~y =
+  complement_register b y;
+  add style b ~x ~y;
+  complement_register b y
+
+let sub style b ~x ~y =
+  if is_unitary_style style then Builder.emit_adjoint b (fun () -> add style b ~x ~y)
+  else sub_via_complement style b ~x ~y
+
+(* ------------------------------------------------------------------ *)
+(* Constant loading *)
+
+let check_const name ~a reg =
+  let n = Register.length reg in
+  if a < 0 || (n < 62 && a lsr n <> 0) then
+    invalid_arg (Printf.sprintf "%s: constant %d does not fit %d qubits" name a n)
+
+let load_const b ~a reg =
+  check_const "Adder.load_const" ~a reg;
+  for i = 0 to Register.length reg - 1 do
+    if (a lsr i) land 1 = 1 then Builder.x b (Register.get reg i)
+  done
+
+let load_const_controlled b ~ctrl ~a reg =
+  check_const "Adder.load_const_controlled" ~a reg;
+  for i = 0 to Register.length reg - 1 do
+    if (a lsr i) land 1 = 1 then
+      Builder.cnot b ~control:ctrl ~target:(Register.get reg i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Controlled addition *)
+
+type controlled_impl = Native | Load_toffoli | Load_and_mbu
+
+let with_loaded_addend b ~load ~unload n f =
+  Builder.with_ancilla_register b "cx" n (fun cx ->
+      load cx;
+      f cx;
+      unload cx)
+
+let add_controlled_load_toffoli style b ~ctrl ~x ~y =
+  let n = Register.length x in
+  let load cx =
+    for i = 0 to n - 1 do
+      Builder.toffoli b ~c1:ctrl ~c2:(Register.get x i) ~target:(Register.get cx i)
+    done
+  in
+  with_loaded_addend b ~load ~unload:load n (fun cx -> add style b ~x:cx ~y)
+
+let add_controlled_load_and_mbu style b ~ctrl ~x ~y =
+  let n = Register.length x in
+  let load cx =
+    for i = 0 to n - 1 do
+      Logical_and.compute b ~c1:ctrl ~c2:(Register.get x i)
+        ~target:(Register.get cx i)
+    done
+  and unload cx =
+    for i = n - 1 downto 0 do
+      Logical_and.uncompute b ~c1:ctrl ~c2:(Register.get x i)
+        ~target:(Register.get cx i)
+    done
+  in
+  with_loaded_addend b ~load ~unload n (fun cx -> add style b ~x:cx ~y)
+
+let add_controlled ?(impl = Native) style b ~ctrl ~x ~y =
+  match impl, style with
+  | Load_toffoli, _ -> add_controlled_load_toffoli style b ~ctrl ~x ~y
+  | Load_and_mbu, _ -> add_controlled_load_and_mbu style b ~ctrl ~x ~y
+  | Native, Cdkpm -> Adder_cdkpm.add_controlled b ~ctrl ~x ~y
+  | Native, Gidney -> Adder_gidney.add_controlled b ~ctrl ~x ~y
+  | Native, Draper -> Adder_draper.add_controlled b ~ctrl ~x ~y
+  | Native, Vbe ->
+      (* VBE has no bespoke controlled adder; corollary 2.10 is the cheapest
+         generic construction. *)
+      add_controlled_load_and_mbu Vbe b ~ctrl ~x ~y
+
+(* The complement identity also inverts a controlled addition:
+   NOT (NOT y + c.x) = y - c.x, and reduces to the identity when c = 0. *)
+let sub_controlled style b ~ctrl ~x ~y =
+  complement_register b y;
+  add_controlled style b ~ctrl ~x ~y;
+  complement_register b y
+
+(* ------------------------------------------------------------------ *)
+(* Constants *)
+
+let add_const style b ~a ~y =
+  let n = Register.length y - 1 in
+  match style with
+  | Draper -> Adder_draper.add_const b ~a ~y
+  | Vbe | Cdkpm | Gidney ->
+      Builder.with_ancilla_register b "ka" n (fun ka ->
+          check_const "Adder.add_const" ~a ka;
+          load_const b ~a ka;
+          add style b ~x:ka ~y;
+          load_const b ~a ka)
+
+let sub_const style b ~a ~y =
+  let n = Register.length y - 1 in
+  match style with
+  | Draper ->
+      Qft.apply b y;
+      Adder_draper.phi_sub_const b ~a ~phi_y:y;
+      Qft.apply_inverse b y
+  | Vbe | Cdkpm ->
+      Builder.with_ancilla_register b "ka" n (fun ka ->
+          check_const "Adder.sub_const" ~a ka;
+          load_const b ~a ka;
+          sub style b ~x:ka ~y;
+          load_const b ~a ka)
+  | Gidney ->
+      Builder.with_ancilla_register b "ka" n (fun ka ->
+          check_const "Adder.sub_const" ~a ka;
+          load_const b ~a ka;
+          sub_via_complement Gidney b ~x:ka ~y;
+          load_const b ~a ka)
+
+let add_const_controlled style b ~ctrl ~a ~y =
+  let n = Register.length y - 1 in
+  match style with
+  | Draper -> Adder_draper.add_const_controlled b ~ctrl ~a ~y
+  | Vbe | Cdkpm | Gidney ->
+      Builder.with_ancilla_register b "ka" n (fun ka ->
+          check_const "Adder.add_const_controlled" ~a ka;
+          load_const_controlled b ~ctrl ~a ka;
+          add style b ~x:ka ~y;
+          load_const_controlled b ~ctrl ~a ka)
+
+let sub_const_controlled style b ~ctrl ~a ~y =
+  let n = Register.length y - 1 in
+  match style with
+  | Draper ->
+      Qft.apply b y;
+      Adder_draper.c_phi_sub_const b ~ctrl ~a ~phi_y:y;
+      Qft.apply_inverse b y
+  | Vbe | Cdkpm | Gidney ->
+      Builder.with_ancilla_register b "ka" n (fun ka ->
+          check_const "Adder.sub_const_controlled" ~a ka;
+          load_const_controlled b ~ctrl ~a ka;
+          (if is_unitary_style style then
+             Builder.emit_adjoint b (fun () -> add style b ~x:ka ~y)
+           else sub_via_complement style b ~x:ka ~y);
+          load_const_controlled b ~ctrl ~a ka)
+
+(* ------------------------------------------------------------------ *)
+(* Comparators *)
+
+let compare style b ~x ~y ~target =
+  match style with
+  | Vbe -> Adder_vbe.compare b ~x ~y ~target
+  | Cdkpm -> Adder_cdkpm.compare b ~x ~y ~target
+  | Gidney -> Adder_gidney.compare b ~x ~y ~target
+  | Draper -> Adder_draper.compare b ~x ~y ~target
+
+(* Proposition 2.25: subtract, read the sign, add back. *)
+let compare_generic style b ~x ~y ~target =
+  if Register.length x <> Register.length y then
+    invalid_arg "Adder.compare_generic: unequal lengths";
+  Builder.with_ancilla b (fun sign ->
+      let ys = Register.extend y sign in
+      sub style b ~x ~y:ys;
+      Builder.cnot b ~control:sign ~target;
+      add style b ~x ~y:ys)
+
+let compare_controlled style b ~ctrl ~x ~y ~target =
+  match style with
+  | Cdkpm -> Adder_cdkpm.compare_controlled b ~ctrl ~x ~y ~target
+  | Gidney -> Adder_gidney.compare_controlled b ~ctrl ~x ~y ~target
+  | Vbe | Draper ->
+      (* Generic fallback: compute the comparison into an ancilla, copy it
+         out under the control with one Toffoli, then uncompute. *)
+      Builder.with_ancilla b (fun t ->
+          compare style b ~x ~y ~target:t;
+          Builder.toffoli b ~c1:ctrl ~c2:t ~target;
+          compare style b ~x ~y ~target:t)
+
+let compare_const style b ~a ~x ~target =
+  match style with
+  | Draper -> Adder_draper.compare_const b ~a ~x ~target
+  | Vbe | Cdkpm | Gidney ->
+      (* Proposition 2.34: load a, then 1[x < a] = 1[a > x]. *)
+      Builder.with_ancilla_register b "kc" (Register.length x) (fun ka ->
+          check_const "Adder.compare_const" ~a ka;
+          load_const b ~a ka;
+          compare style b ~x:ka ~y:x ~target;
+          load_const b ~a ka)
+
+(* Theorem 2.35: sign of x - a is 1[x < a]. *)
+let compare_const_via_sub style b ~a ~x ~target =
+  Builder.with_ancilla b (fun sign ->
+      let xs = Register.extend x sign in
+      sub_const style b ~a ~y:xs;
+      Builder.cnot b ~control:sign ~target;
+      add_const style b ~a ~y:xs)
+
+(* Definition 2.37 / theorem 2.38: 1[x < c.a] via a controlled load. *)
+let compare_const_controlled style b ~ctrl ~a ~x ~target =
+  Builder.with_ancilla_register b "kc" (Register.length x) (fun ka ->
+      check_const "Adder.compare_const_controlled" ~a ka;
+      load_const_controlled b ~ctrl ~a ka;
+      compare style b ~x:ka ~y:x ~target;
+      load_const_controlled b ~ctrl ~a ka)
+
+let compare_ge_const style b ~a ~x ~target =
+  compare_const style b ~a ~x ~target;
+  Builder.x b target
+
+let add_mod style b ~x ~y =
+  match style with
+  | Vbe -> Adder_vbe.add_mod b ~x ~y
+  | Cdkpm -> Adder_cdkpm.add_mod b ~x ~y
+  | Gidney -> Adder_gidney.add_mod b ~x ~y
+  | Draper -> Adder_draper.add_mod b ~x ~y
+
+let add_const_mod style b ~a ~y =
+  let m = Register.length y in
+  match style with
+  | Draper ->
+      Qft.apply b y;
+      Adder_draper.phi_add_const b ~a ~phi_y:y;
+      Qft.apply_inverse b y
+  | Vbe | Cdkpm | Gidney ->
+      Builder.with_ancilla_register b "km" m (fun ka ->
+          check_const "Adder.add_const_mod" ~a ka;
+          load_const b ~a ka;
+          add_mod style b ~x:ka ~y;
+          load_const b ~a ka)
+
+let add_const_mod_controlled style b ~ctrl ~a ~y =
+  let m = Register.length y in
+  match style with
+  | Draper ->
+      Qft.apply b y;
+      Adder_draper.c_phi_add_const b ~ctrl ~a ~phi_y:y;
+      Qft.apply_inverse b y
+  | Vbe | Cdkpm | Gidney ->
+      Builder.with_ancilla_register b "km" m (fun ka ->
+          check_const "Adder.add_const_mod_controlled" ~a ka;
+          load_const_controlled b ~ctrl ~a ka;
+          add_mod style b ~x:ka ~y;
+          load_const_controlled b ~ctrl ~a ka)
+
+(* Theorem 2.22, circuit (9): y + twos_complement(x) = y - x. The addend
+   register is zero-extended so its 2's complement spans n+1 bits, then
+   restored by the complementary decrement. *)
+let sub_via_twos_complement style b ~x ~y =
+  Builder.with_ancilla b (fun pad ->
+      let xs = Register.extend x pad in
+      complement_register b xs;
+      Increment.apply b xs;
+      add_mod style b ~x:xs ~y;
+      Increment.apply_decrement b xs;
+      complement_register b xs)
+
+(* Remark 2.32: an (n+1)-bit y exceeds any n-bit x whenever its top bit is
+   set, so the copy-out gains a NOT-y_top control — a controlled comparator
+   on the low bits. *)
+let compare_unequal style b ~x ~y ~target =
+  let n = Register.length x in
+  if Register.length y <> n + 1 then
+    invalid_arg "Adder.compare_unequal: length y <> length x + 1";
+  let y_low = Register.sub y ~pos:0 ~len:n in
+  let y_top = Register.get y n in
+  Builder.x b y_top;
+  compare_controlled style b ~ctrl:y_top ~x ~y:y_low ~target;
+  Builder.x b y_top

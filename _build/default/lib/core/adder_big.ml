@@ -1,0 +1,81 @@
+open Mbu_circuit
+open Mbu_bitstring
+
+let require_ripple name = function
+  | Adder.Vbe | Adder.Cdkpm | Adder.Gidney -> ()
+  | Adder.Draper ->
+      invalid_arg (name ^ ": Draper constants are capped at 61 bits; use Adder")
+
+let check_width name ~a reg =
+  (* any set bit of [a] above the register width is an error *)
+  let w = Register.length reg in
+  for i = w to Bitstring.length a - 1 do
+    if Bitstring.get a i then
+      invalid_arg (Printf.sprintf "%s: constant does not fit %d qubits" name w)
+  done
+
+let bit a i = i < Bitstring.length a && Bitstring.get a i
+
+let load_const b ~a reg =
+  check_width "Adder_big.load_const" ~a reg;
+  for i = 0 to Register.length reg - 1 do
+    if bit a i then Builder.x b (Register.get reg i)
+  done
+
+let load_const_controlled b ~ctrl ~a reg =
+  check_width "Adder_big.load_const_controlled" ~a reg;
+  for i = 0 to Register.length reg - 1 do
+    if bit a i then Builder.cnot b ~control:ctrl ~target:(Register.get reg i)
+  done
+
+let with_loaded b ~n ~load f =
+  Builder.with_ancilla_register b "kb" n (fun ka ->
+      load ka;
+      f ka;
+      load ka)
+
+let add_const style b ~a ~y =
+  require_ripple "Adder_big.add_const" style;
+  with_loaded b ~n:(Register.length y - 1)
+    ~load:(fun ka -> load_const b ~a ka)
+    (fun ka -> Adder.add style b ~x:ka ~y)
+
+let sub_const style b ~a ~y =
+  require_ripple "Adder_big.sub_const" style;
+  with_loaded b ~n:(Register.length y - 1)
+    ~load:(fun ka -> load_const b ~a ka)
+    (fun ka -> Adder.sub style b ~x:ka ~y)
+
+let add_const_controlled style b ~ctrl ~a ~y =
+  require_ripple "Adder_big.add_const_controlled" style;
+  with_loaded b ~n:(Register.length y - 1)
+    ~load:(fun ka -> load_const_controlled b ~ctrl ~a ka)
+    (fun ka -> Adder.add style b ~x:ka ~y)
+
+let sub_const_controlled style b ~ctrl ~a ~y =
+  require_ripple "Adder_big.sub_const_controlled" style;
+  with_loaded b ~n:(Register.length y - 1)
+    ~load:(fun ka -> load_const_controlled b ~ctrl ~a ka)
+    (fun ka -> Adder.sub style b ~x:ka ~y)
+
+let add_const_mod_controlled style b ~ctrl ~a ~y =
+  require_ripple "Adder_big.add_const_mod_controlled" style;
+  with_loaded b ~n:(Register.length y)
+    ~load:(fun ka -> load_const_controlled b ~ctrl ~a ka)
+    (fun ka -> Adder.add_mod style b ~x:ka ~y)
+
+let compare_const style b ~a ~x ~target =
+  require_ripple "Adder_big.compare_const" style;
+  with_loaded b ~n:(Register.length x)
+    ~load:(fun ka -> load_const b ~a ka)
+    (fun ka -> Adder.compare style b ~x:ka ~y:x ~target)
+
+let compare_ge_const style b ~a ~x ~target =
+  compare_const style b ~a ~x ~target;
+  Builder.x b target
+
+let compare_const_controlled style b ~ctrl ~a ~x ~target =
+  require_ripple "Adder_big.compare_const_controlled" style;
+  with_loaded b ~n:(Register.length x)
+    ~load:(fun ka -> load_const_controlled b ~ctrl ~a ka)
+    (fun ka -> Adder.compare style b ~x:ka ~y:x ~target)

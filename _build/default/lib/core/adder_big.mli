@@ -1,0 +1,41 @@
+(** Constant arithmetic with arbitrary-width constants.
+
+    The [Adder] API takes classical constants as OCaml [int]s, which caps
+    moduli at 61 bits. This module provides the same constant constructions
+    with constants given as {!Mbu_bitstring.Bitstring.t}, so resource tables
+    can be generated at cryptographic widths (RSA-2048-sized moduli). Only
+    the ripple families are supported — the Draper constructions need exact
+    dyadic phases whose denominators would overflow the phase
+    representation; passing [Draper] raises [Invalid_argument].
+
+    Semantics mirror [Adder] one for one; see there for definitions. *)
+
+open Mbu_circuit
+open Mbu_bitstring
+
+val load_const : Builder.t -> a:Bitstring.t -> Register.t -> unit
+val load_const_controlled :
+  Builder.t -> ctrl:Gate.qubit -> a:Bitstring.t -> Register.t -> unit
+
+val add_const : Adder.style -> Builder.t -> a:Bitstring.t -> y:Register.t -> unit
+val sub_const : Adder.style -> Builder.t -> a:Bitstring.t -> y:Register.t -> unit
+
+val add_const_controlled :
+  Adder.style -> Builder.t -> ctrl:Gate.qubit -> a:Bitstring.t -> y:Register.t -> unit
+
+val sub_const_controlled :
+  Adder.style -> Builder.t -> ctrl:Gate.qubit -> a:Bitstring.t -> y:Register.t -> unit
+
+val add_const_mod_controlled :
+  Adder.style -> Builder.t -> ctrl:Gate.qubit -> a:Bitstring.t -> y:Register.t -> unit
+
+val compare_const :
+  Adder.style -> Builder.t -> a:Bitstring.t -> x:Register.t -> target:Gate.qubit -> unit
+(** [target XOR= 1\[x < a\]]. *)
+
+val compare_ge_const :
+  Adder.style -> Builder.t -> a:Bitstring.t -> x:Register.t -> target:Gate.qubit -> unit
+
+val compare_const_controlled :
+  Adder.style -> Builder.t ->
+  ctrl:Gate.qubit -> a:Bitstring.t -> x:Register.t -> target:Gate.qubit -> unit

@@ -1,0 +1,127 @@
+open Mbu_circuit
+
+let maj b ~c ~y ~x =
+  Builder.cnot b ~control:x ~target:y;
+  Builder.cnot b ~control:x ~target:c;
+  Builder.toffoli b ~c1:c ~c2:y ~target:x
+
+let uma b ~c ~y ~x =
+  Builder.toffoli b ~c1:c ~c2:y ~target:x;
+  Builder.cnot b ~control:x ~target:c;
+  Builder.cnot b ~control:c ~target:y
+
+let uma_3cnot b ~c ~y ~x =
+  Builder.x b y;
+  Builder.cnot b ~control:c ~target:y;
+  Builder.toffoli b ~c1:c ~c2:y ~target:x;
+  Builder.x b y;
+  Builder.cnot b ~control:x ~target:c;
+  Builder.cnot b ~control:x ~target:y
+
+let c_uma b ~ctrl ~c ~y ~x =
+  (* After MAJ the wires hold (c XOR x, y XOR x, maj). Restoring x first and
+     then selecting which of c / x to add into y costs two Toffoli:
+       TOF(c-wire, y-wire -> x-wire)   restores x
+       TOF(ctrl, c-wire -> y-wire)     y-wire := y XOR x XOR ctrl.(c XOR x)
+       CNOT(x-wire -> c-wire)          restores c
+       CNOT(x-wire -> y-wire)          y-wire := ctrl ? y XOR x XOR c : y *)
+  Builder.toffoli b ~c1:c ~c2:y ~target:x;
+  Builder.toffoli b ~c1:ctrl ~c2:c ~target:y;
+  Builder.cnot b ~control:x ~target:c;
+  Builder.cnot b ~control:x ~target:y
+
+let check_add_regs name ~x ~y =
+  let n = Register.length x in
+  if n = 0 then invalid_arg (name ^ ": empty addend");
+  if Register.length y <> n + 1 then invalid_arg (name ^ ": length y <> length x + 1")
+
+(* The carry into position i rides on the x_{i-1} wire; c_0 is an ancilla. *)
+let add b ~x ~y =
+  check_add_regs "Adder_cdkpm.add" ~x ~y;
+  let n = Register.length x in
+  Builder.with_ancilla b (fun c0 ->
+      let carry i = if i = 0 then c0 else Register.get x (i - 1) in
+      for i = 0 to n - 1 do
+        maj b ~c:(carry i) ~y:(Register.get y i) ~x:(Register.get x i)
+      done;
+      Builder.cnot b ~control:(Register.get x (n - 1)) ~target:(Register.get y n);
+      for i = n - 1 downto 0 do
+        uma b ~c:(carry i) ~y:(Register.get y i) ~x:(Register.get x i)
+      done)
+
+let add_controlled b ~ctrl ~x ~y =
+  check_add_regs "Adder_cdkpm.add_controlled" ~x ~y;
+  let n = Register.length x in
+  Builder.with_ancilla b (fun c0 ->
+      let carry i = if i = 0 then c0 else Register.get x (i - 1) in
+      for i = 0 to n - 1 do
+        maj b ~c:(carry i) ~y:(Register.get y i) ~x:(Register.get x i)
+      done;
+      (* The copy of the top carry into y_n must itself be controlled. *)
+      Builder.toffoli b ~c1:ctrl ~c2:(Register.get x (n - 1)) ~target:(Register.get y n);
+      for i = n - 1 downto 0 do
+        c_uma b ~ctrl ~c:(carry i) ~y:(Register.get y i) ~x:(Register.get x i)
+      done)
+
+(* Comparator: the top carry of x + NOT(y) equals 1[x > y]. The MAJ chain
+   plays the role of "half" an (adjoint) subtractor; the UMA-free descent is
+   just the adjoint MAJ chain (figure 21). *)
+let compare_gen b ?ctrl ~x ~y ~target () =
+  let n = Register.length x in
+  if Register.length y <> n then invalid_arg "Adder_cdkpm.compare: unequal lengths";
+  if n = 0 then invalid_arg "Adder_cdkpm.compare: empty register";
+  let complement () = Array.iter (fun q -> Builder.x b q) (Register.qubits y) in
+  Builder.with_ancilla b (fun c0 ->
+      let carry i = if i = 0 then c0 else Register.get x (i - 1) in
+      complement ();
+      let (), chain =
+        Builder.capture b (fun () ->
+            for i = 0 to n - 1 do
+              maj b ~c:(carry i) ~y:(Register.get y i) ~x:(Register.get x i)
+            done)
+      in
+      Builder.emit b chain;
+      (match ctrl with
+      | None -> Builder.cnot b ~control:(Register.get x (n - 1)) ~target
+      | Some ctrl ->
+          Builder.toffoli b ~c1:ctrl ~c2:(Register.get x (n - 1)) ~target);
+      Builder.emit b (Instr.adjoint chain);
+      complement ())
+
+let compare b ~x ~y ~target = compare_gen b ~x ~y ~target ()
+
+let compare_controlled b ~ctrl ~x ~y ~target =
+  compare_gen b ~ctrl ~x ~y ~target ()
+
+(* Equal-length addition modulo 2^m: the top carry is not produced, so the
+   top bit needs only two CNOTs (s_{m-1} = x XOR y XOR c). *)
+let add_mod b ~x ~y =
+  let m = Register.length x in
+  if Register.length y <> m then invalid_arg "Adder_cdkpm.add_mod: unequal lengths";
+  if m = 0 then invalid_arg "Adder_cdkpm.add_mod: empty register";
+  if m = 1 then
+    Builder.cnot b ~control:(Register.get x 0) ~target:(Register.get y 0)
+  else
+    Builder.with_ancilla b (fun c0 ->
+        let carry i = if i = 0 then c0 else Register.get x (i - 1) in
+        for i = 0 to m - 2 do
+          maj b ~c:(carry i) ~y:(Register.get y i) ~x:(Register.get x i)
+        done;
+        Builder.cnot b ~control:(carry (m - 1)) ~target:(Register.get y (m - 1));
+        Builder.cnot b ~control:(Register.get x (m - 1)) ~target:(Register.get y (m - 1));
+        for i = m - 2 downto 0 do
+          uma b ~c:(carry i) ~y:(Register.get y i) ~x:(Register.get x i)
+        done)
+
+let add_3cnot b ~x ~y =
+  check_add_regs "Adder_cdkpm.add_3cnot" ~x ~y;
+  let n = Register.length x in
+  Builder.with_ancilla b (fun c0 ->
+      let carry i = if i = 0 then c0 else Register.get x (i - 1) in
+      for i = 0 to n - 1 do
+        maj b ~c:(carry i) ~y:(Register.get y i) ~x:(Register.get x i)
+      done;
+      Builder.cnot b ~control:(Register.get x (n - 1)) ~target:(Register.get y n);
+      for i = n - 1 downto 0 do
+        uma_3cnot b ~c:(carry i) ~y:(Register.get y i) ~x:(Register.get x i)
+      done)

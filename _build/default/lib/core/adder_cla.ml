@@ -1,0 +1,163 @@
+open Mbu_circuit
+
+(* Brent-Kung prefix tree over (P, G) pairs. Bit-level blocks at level t
+   have size 2^t; block m covers bits [m.2^t, (m+1).2^t). The combined
+   generate of a block is stored in place at the g-wire of its top bit; the
+   combined propagates P_t[m] need ancillas (block 0's propagate is never
+   read, so it is never computed).
+
+   Up-sweep ("G rounds"): G of block m at level t is G(high half) XOR
+   P(high half).G(low half):
+       g[(m+1).2^t - 1]  ^=  P_{t-1}[2m+1]  AND  g[m.2^t + 2^{t-1} - 1].
+   Down-sweep ("C rounds"): carries at the half-block boundaries:
+       g[m.2^t + 2^{t-1} - 1]  ^=  P_{t-1}[2m]  AND  g[m.2^t - 1]   (m >= 1).
+   After both sweeps g.(i) = c_{i+1}. *)
+
+type g_update = { target : int; p_level : int; p_block : int; src : int }
+
+let plan n =
+  let max_level =
+    let rec go t = if 1 lsl (t + 1) <= n then go (t + 1) else t in
+    go 0
+  in
+  (* propagate blocks actually read by some update *)
+  let needed = Hashtbl.create 16 in
+  let ups = ref [] and downs = ref [] in
+  for t = 1 to max_level do
+    let size = 1 lsl t in
+    let m = ref 0 in
+    while (!m + 1) * size <= n do
+      if !m * size + (size / 2) - 1 < n then begin
+        ups :=
+          { target = ((!m + 1) * size) - 1;
+            p_level = t - 1;
+            p_block = (2 * !m) + 1;
+            src = (!m * size) + (size / 2) - 1 }
+          :: !ups;
+        Hashtbl.replace needed (t - 1, (2 * !m) + 1) ()
+      end;
+      incr m
+    done
+  done;
+  for t = max_level downto 1 do
+    let size = 1 lsl t in
+    let m = ref 1 in
+    while (!m * size) + (size / 2) - 1 < n do
+      downs :=
+        { target = (!m * size) + (size / 2) - 1;
+          p_level = t - 1;
+          p_block = 2 * !m;
+          src = (!m * size) - 1 }
+        :: !downs;
+      Hashtbl.replace needed (t - 1, 2 * !m) ();
+      incr m
+    done
+  done;
+  (* a needed P block forces its two children (level-0 blocks are wires) *)
+  let rec force (t, m) =
+    if t >= 1 then begin
+      if not (Hashtbl.mem needed (t, m)) then Hashtbl.replace needed (t, m) ();
+      force (t - 1, 2 * m);
+      force (t - 1, (2 * m) + 1)
+    end
+  in
+  Hashtbl.iter (fun key () -> force key) (Hashtbl.copy needed);
+  (max_level, needed, List.rev !ups, List.rev !downs)
+
+(* Build (and later erase) the propagate tree; returns a lookup for P
+   wires. Level 0 propagates are the p wires themselves. *)
+let with_p_tree ?(mbu = false) b ~p ~max_level ~needed f =
+  let wires = Hashtbl.create 16 in
+  let wire (t, m) =
+    if t = 0 then p.(m)
+    else
+      match Hashtbl.find_opt wires (t, m) with
+      | Some w -> w
+      | None -> invalid_arg "Adder_cla: missing propagate block"
+  in
+  let built = ref [] in
+  for t = 1 to max_level do
+    Hashtbl.iter
+      (fun (t', m) () ->
+        if t' = t then begin
+          let w = Builder.alloc_ancilla b in
+          Hashtbl.replace wires (t, m) w;
+          Logical_and.compute b ~c1:(wire (t - 1, 2 * m))
+            ~c2:(wire (t - 1, (2 * m) + 1))
+            ~target:w;
+          built := (t, m, w) :: !built
+        end)
+      needed
+  done;
+  f wire;
+  List.iter
+    (fun (t, m, w) ->
+      (if mbu then
+         Logical_and.uncompute b ~c1:(wire (t - 1, 2 * m))
+           ~c2:(wire (t - 1, (2 * m) + 1))
+           ~target:w
+       else
+         Builder.toffoli b ~c1:(wire (t - 1, 2 * m))
+           ~c2:(wire (t - 1, (2 * m) + 1))
+           ~target:w);
+      Builder.free_ancilla b w)
+    !built
+
+let emit_updates b ~wire ~g updates =
+  List.iter
+    (fun { target; p_level; p_block; src } ->
+      Builder.toffoli b ~c1:(wire (p_level, p_block)) ~c2:g.(src)
+        ~target:g.(target))
+    updates
+
+let carries_gen ?(mbu = false) ~reverse b ~p ~g =
+  let n = Array.length p in
+  if Array.length g <> n then invalid_arg "Adder_cla: p/g length mismatch";
+  if n = 0 then invalid_arg "Adder_cla: empty register";
+  let max_level, needed, ups, downs = plan n in
+  with_p_tree ~mbu b ~p ~max_level ~needed (fun wire ->
+      if reverse then
+        emit_updates b ~wire ~g (List.rev (ups @ downs))
+      else emit_updates b ~wire ~g (ups @ downs))
+
+let compute_carries b ~p ~g = carries_gen ~mbu:false ~reverse:false b ~p ~g
+let uncompute_carries b ~p ~g = carries_gen ~mbu:false ~reverse:true b ~p ~g
+
+let add ?(mbu = true) b ~x ~y =
+  let n = Register.length x in
+  if Register.length y <> n + 1 then
+    invalid_arg "Adder_cla.add: length y <> length x + 1";
+  if n = 0 then invalid_arg "Adder_cla.add: empty addend";
+  let xq = Register.get x and yq = Register.get y in
+  let g = Array.init n (fun _ -> Builder.alloc_ancilla b) in
+  let p = Array.init n yq in
+  (* generate and propagate *)
+  for i = 0 to n - 1 do
+    Logical_and.compute b ~c1:(xq i) ~c2:(yq i) ~target:g.(i);
+    Builder.cnot b ~control:(xq i) ~target:(yq i)
+  done;
+  carries_gen ~mbu ~reverse:false b ~p ~g;
+  (* write the sum: s_i = p_i XOR c_i, s_n = c_n *)
+  Builder.cnot b ~control:g.(n - 1) ~target:(yq n);
+  for i = 1 to n - 1 do
+    Builder.cnot b ~control:g.(i - 1) ~target:(yq i)
+  done;
+  (* erase the carries using the dual chain: the borrows of s - x equal the
+     carries of x + y, with propagate p'_i = NOT s_i XOR x_i and generate
+     g'_i = x_i AND NOT s_i. *)
+  for i = 0 to n - 1 do
+    Builder.x b (yq i);
+    Builder.cnot b ~control:(xq i) ~target:(yq i)
+  done;
+  (* y now holds p'; run the inverse prefix tree: carries -> g' *)
+  carries_gen ~mbu ~reverse:true b ~p ~g;
+  for i = 0 to n - 1 do
+    Builder.cnot b ~control:(xq i) ~target:(yq i)
+    (* y_i = NOT s_i *)
+  done;
+  for i = 0 to n - 1 do
+    if mbu then Logical_and.uncompute b ~c1:(xq i) ~c2:(yq i) ~target:g.(i)
+    else Builder.toffoli b ~c1:(xq i) ~c2:(yq i) ~target:g.(i);
+    Builder.x b (yq i)
+  done;
+  Array.iter (Builder.free_ancilla b) (Array.init n (fun i -> g.(n - 1 - i)))

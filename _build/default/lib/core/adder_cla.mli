@@ -1,0 +1,27 @@
+(** The Draper–Kutin–Rains–Svore carry-lookahead adder \[Dra+04\] (cited in
+    the paper's related-work survey): all carries are computed by a
+    Brent–Kung parallel-prefix tree over (propagate, generate) pairs in
+    [O(log n)] Toffoli depth, against the [O(n)] depth of every ripple
+    adder. The Toffoli {e count} is higher (~[7n] worst case, ~[5n] with the
+    MBU-erased propagate tree) — the classic depth-for-count trade, measured
+    in the benchmark's depth ablation.
+
+    Register conventions as in {!Adder_vbe}. With [mbu] (default true) the
+    propagate-tree ancillas and the generate bits are erased by
+    measurement-based uncomputation instead of mirrored Toffolis. *)
+
+open Mbu_circuit
+
+val add : ?mbu:bool -> Builder.t -> x:Register.t -> y:Register.t -> unit
+(** [y <- x + y] (definition 2.1), [length y = length x + 1]. *)
+
+val compute_carries :
+  Builder.t -> p:Gate.qubit array -> g:Gate.qubit array -> unit
+(** The prefix tree in isolation, exposed for testing: [p] holds the
+    propagate bits (read-only), [g] the generate bits; afterwards [g.(i)]
+    holds carry [c_{i+1}]. Unitary (the internal propagate tree is mirrored,
+    not measured), so [Builder.emit_adjoint] inverts it. *)
+
+val uncompute_carries :
+  Builder.t -> p:Gate.qubit array -> g:Gate.qubit array -> unit
+(** Exact inverse of {!compute_carries} with the same wires. *)

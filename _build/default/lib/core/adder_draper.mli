@@ -1,0 +1,78 @@
+(** Draper's QFT adder (proposition 2.5, corollary 2.7) and Beauregard's
+    constant variants (propositions 2.17 and 2.20).
+
+    The "phi" entry points act on a register already mapped into the Fourier
+    encoding by {!Qft.apply}: after [Qft.apply b phi_y], qubit [i] of [phi_y]
+    holds [|0> + exp(2 i pi y / 2^{i+1}) |1>]. The full adders wrap them in
+    QFT / IQFT pairs. All phase angles are exact dyadic rationals. *)
+
+open Mbu_circuit
+
+val phi_add : Builder.t -> x:Register.t -> phi_y:Register.t -> unit
+(** Proposition 2.5 ([Phi_ADD], figure 14): [|x>|phi(y)> -> |x>|phi(x+y)>].
+    [phi_y] must have [length x + 1] qubits. No ancillas. *)
+
+val phi_add_const : Builder.t -> a:int -> phi_y:Register.t -> unit
+(** Proposition 2.17 ([Phi_ADD(a)], figure 19, equation (7)): adds the
+    classical constant [a] in the Fourier basis with one single-qubit
+    rotation per qubit — the paper's "partially classical QFT" (PCQFT)
+    gates. [a] may be any integer; it is taken modulo [2^m]. *)
+
+val phi_sub_const : Builder.t -> a:int -> phi_y:Register.t -> unit
+
+val c_phi_add_const :
+  Builder.t -> ctrl:Gate.qubit -> a:int -> phi_y:Register.t -> unit
+(** Proposition 2.20 ([C-Phi_ADD(a)]): every rotation gains the control. *)
+
+val c_phi_sub_const :
+  Builder.t -> ctrl:Gate.qubit -> a:int -> phi_y:Register.t -> unit
+
+val c_phi_add :
+  Builder.t -> ctrl:Gate.qubit -> x:Register.t -> phi_y:Register.t -> unit
+(** Theorem 2.14's [C-Phi_ADD] with a single ancilla: rotations are grouped
+    by their control [x_j]; each group's control is replaced by a temporary
+    logical-AND of [ctrl] and [x_j], erased afterwards by MBU. Costs [n]
+    Toffoli plus, in expectation, [n/2] classically controlled CZ. *)
+
+val add : Builder.t -> x:Register.t -> y:Register.t -> unit
+(** Corollary 2.7: QFT, [Phi_ADD], IQFT. Conventions as {!Adder_vbe.add}. *)
+
+val add_controlled :
+  Builder.t -> ctrl:Gate.qubit -> x:Register.t -> y:Register.t -> unit
+(** Theorems 2.13 + 2.14: only the central [Phi_ADD] is controlled. *)
+
+val add_const : Builder.t -> a:int -> y:Register.t -> unit
+(** QFT, [Phi_ADD(a)], IQFT on an (n+1)-qubit register (MSB initially 0). *)
+
+val add_const_controlled :
+  Builder.t -> ctrl:Gate.qubit -> a:int -> y:Register.t -> unit
+
+val compare :
+  Builder.t -> x:Register.t -> y:Register.t -> target:Gate.qubit -> unit
+(** Proposition 2.26 (Draper/Beauregard comparator):
+    [target XOR= 1\[x > y\]] via [Phi_SUB]; uses one borrowed |0> qubit as
+    the sign bit. [x] and [y] of equal length [n]; both restored. *)
+
+val compare_const :
+  Builder.t -> a:int -> x:Register.t -> target:Gate.qubit -> unit
+(** Proposition 2.36: [target XOR= 1\[x < a\]]. *)
+
+val phi_add_equal : Builder.t -> x:Register.t -> phi_y:Register.t -> unit
+(** Equal-length [Phi_ADD]: both registers have [m] qubits, addition is
+    modulo [2^m]. *)
+
+val add_mod : Builder.t -> x:Register.t -> y:Register.t -> unit
+(** Equal-length addition modulo [2^m]: QFT, {!phi_add_equal}, IQFT. *)
+
+val compare_const_msb :
+  Builder.t -> a:int -> x:Register.t -> target:Gate.qubit -> unit
+(** [target XOR= 1\[x < a\]] using the register's own most significant qubit
+    as the sign of [x - a] — no ancilla, so adjacent QFT/IQFT pairs cancel
+    against neighbouring Fourier blocks (the composition trick of
+    proposition 3.7). Only valid when [|x - a| < 2^(m-1)], which holds for
+    the modular adder's sum register ([x < 2p], [a = p < 2^(m-1)]). *)
+
+val add_approx : Builder.t -> cutoff:int -> x:Register.t -> y:Register.t -> unit
+(** The Draper adder with approximate QFTs and a truncated [Phi_ADD] (all
+    rotations below [2 pi / 2^cutoff] dropped): [O(n cutoff)] rotations
+    instead of [O(n^2)], exact up to an [O(n / 2^cutoff)] phase error. *)

@@ -1,0 +1,153 @@
+open Mbu_circuit
+
+(* Carry recursion via the logical-AND (figure 12): with c_0 = 0 and t_i the
+   ancilla holding carry c_{i+1},
+
+     c_{i+1} = c_i XOR ((x_i XOR c_i) AND (y_i XOR c_i)).
+
+   Compute block for position i:
+     CNOT(c_i -> x_i); CNOT(c_i -> y_i); AND(x_i, y_i -> t_i); CNOT(c_i -> t_i)
+   (the CNOTs are skipped at i = 0 where c_0 = 0). Between compute and
+   uncompute, wire x_i holds x_i XOR c_i and wire y_i holds y_i XOR c_i, so
+   the sum bit is s_i = (y_i-wire) XOR x_i once x_i is restored. *)
+
+let compute_block b ~c_in ~x ~y ~t =
+  (match c_in with
+  | Some c ->
+      Builder.cnot b ~control:c ~target:x;
+      Builder.cnot b ~control:c ~target:y
+  | None -> ());
+  Logical_and.compute b ~c1:x ~c2:y ~target:t;
+  match c_in with
+  | Some c -> Builder.cnot b ~control:c ~target:t
+  | None -> ()
+
+(* Erase t (holding c_{i+1}) by MBU; wires x, y must still hold the XORed
+   values from compute time. *)
+let erase_carry b ~c_in ~x ~y ~t =
+  (match c_in with
+  | Some c -> Builder.cnot b ~control:c ~target:t
+  | None -> ());
+  Logical_and.uncompute b ~c1:x ~c2:y ~target:t
+
+let check_add_regs name ~x ~y =
+  let n = Register.length x in
+  if n = 0 then invalid_arg (name ^ ": empty addend");
+  if Register.length y <> n + 1 then invalid_arg (name ^ ": length y <> length x + 1")
+
+let add b ~x ~y =
+  check_add_regs "Adder_gidney.add" ~x ~y;
+  let n = Register.length x in
+  let xq = Register.get x and yq = Register.get y in
+  if n = 1 then begin
+    (* Degenerate: one logical-AND straight into y_1, one CNOT for s_0. *)
+    Logical_and.compute b ~c1:(xq 0) ~c2:(yq 0) ~target:(yq 1);
+    Builder.cnot b ~control:(xq 0) ~target:(yq 0)
+  end
+  else begin
+    let t = Array.init (n - 1) (fun _ -> Builder.alloc_ancilla b) in
+    let c i = if i = 0 then None else Some t.(i - 1) in
+    (* Rising pass: carries c_1 .. c_{n-1} into ancillas, c_n straight into
+       the sum's top qubit y_n. *)
+    for i = 0 to n - 2 do
+      compute_block b ~c_in:(c i) ~x:(xq i) ~y:(yq i) ~t:t.(i)
+    done;
+    compute_block b ~c_in:(c (n - 1)) ~x:(xq (n - 1)) ~y:(yq (n - 1)) ~t:(yq n);
+    (* The "two additional CNOTs": restore x_{n-1}, write s_{n-1}. *)
+    (match c (n - 1) with
+    | Some cq -> Builder.cnot b ~control:cq ~target:(xq (n - 1))
+    | None -> ());
+    Builder.cnot b ~control:(xq (n - 1)) ~target:(yq (n - 1));
+    (* Falling pass: erase each carry, restore x_i, write s_i. *)
+    for i = n - 2 downto 0 do
+      erase_carry b ~c_in:(c i) ~x:(xq i) ~y:(yq i) ~t:t.(i);
+      (match c i with
+      | Some cq -> Builder.cnot b ~control:cq ~target:(xq i)
+      | None -> ());
+      Builder.cnot b ~control:(xq i) ~target:(yq i)
+    done;
+    Array.iter (Builder.free_ancilla b) (Array.init (n - 1) (fun i -> t.(n - 2 - i)))
+  end
+
+let add_controlled b ~ctrl ~x ~y =
+  check_add_regs "Adder_gidney.add_controlled" ~x ~y;
+  let n = Register.length x in
+  let xq = Register.get x and yq = Register.get y in
+  let t = Array.init n (fun _ -> Builder.alloc_ancilla b) in
+  let c i = if i = 0 then None else Some t.(i - 1) in
+  (* Carries are computed unconditionally, including c_n into an ancilla;
+     only the copies into y are controlled (figure 15). *)
+  for i = 0 to n - 1 do
+    compute_block b ~c_in:(c i) ~x:(xq i) ~y:(yq i) ~t:t.(i)
+  done;
+  Builder.toffoli b ~c1:ctrl ~c2:t.(n - 1) ~target:(yq n);
+  for i = n - 1 downto 0 do
+    erase_carry b ~c_in:(c i) ~x:(xq i) ~y:(yq i) ~t:t.(i);
+    (* wires: x_i XOR c_i, y_i XOR c_i. Conditionally fold x XOR c into y,
+       restore x, then fold c back out of y:
+       y := y XOR c XOR ctrl.(x XOR c) XOR c = ctrl ? s_i : y_i. *)
+    Builder.toffoli b ~c1:ctrl ~c2:(xq i) ~target:(yq i);
+    match c i with
+    | Some cq ->
+        Builder.cnot b ~control:cq ~target:(xq i);
+        Builder.cnot b ~control:cq ~target:(yq i)
+    | None -> ()
+  done;
+  Array.iter (Builder.free_ancilla b) (Array.init n (fun i -> t.(n - 1 - i)))
+
+let compare_gen b ?ctrl ~x ~y ~target () =
+  let n = Register.length x in
+  if Register.length y <> n then invalid_arg "Adder_gidney.compare: unequal lengths";
+  if n = 0 then invalid_arg "Adder_gidney.compare: empty register";
+  let xq = Register.get x and yq = Register.get y in
+  let complement () = Array.iter (fun q -> Builder.x b q) (Register.qubits y) in
+  (* Top carry of x + NOT(y) equals 1[x > y]; compute the carry ladder, copy
+     the top carry out, then erase every carry by MBU (no Toffoli on the way
+     down). *)
+  let t = Array.init n (fun _ -> Builder.alloc_ancilla b) in
+  let c i = if i = 0 then None else Some t.(i - 1) in
+  complement ();
+  for i = 0 to n - 1 do
+    compute_block b ~c_in:(c i) ~x:(xq i) ~y:(yq i) ~t:t.(i)
+  done;
+  (match ctrl with
+  | None -> Builder.cnot b ~control:t.(n - 1) ~target
+  | Some ctrl -> Builder.toffoli b ~c1:ctrl ~c2:t.(n - 1) ~target);
+  for i = n - 1 downto 0 do
+    erase_carry b ~c_in:(c i) ~x:(xq i) ~y:(yq i) ~t:t.(i);
+    match c i with
+    | Some cq ->
+        Builder.cnot b ~control:cq ~target:(yq i);
+        Builder.cnot b ~control:cq ~target:(xq i)
+    | None -> ()
+  done;
+  complement ();
+  Array.iter (Builder.free_ancilla b) (Array.init n (fun i -> t.(n - 1 - i)))
+
+let compare b ~x ~y ~target = compare_gen b ~x ~y ~target ()
+let compare_controlled b ~ctrl ~x ~y ~target = compare_gen b ~ctrl ~x ~y ~target ()
+
+(* Equal-length addition modulo 2^m (no overflow qubit). *)
+let add_mod b ~x ~y =
+  let m = Register.length x in
+  if Register.length y <> m then invalid_arg "Adder_gidney.add_mod: unequal lengths";
+  if m = 0 then invalid_arg "Adder_gidney.add_mod: empty register";
+  let xq = Register.get x and yq = Register.get y in
+  if m = 1 then Builder.cnot b ~control:(xq 0) ~target:(yq 0)
+  else begin
+    let t = Array.init (m - 1) (fun _ -> Builder.alloc_ancilla b) in
+    let c i = if i = 0 then None else Some t.(i - 1) in
+    for i = 0 to m - 2 do
+      compute_block b ~c_in:(c i) ~x:(xq i) ~y:(yq i) ~t:t.(i)
+    done;
+    Builder.cnot b ~control:t.(m - 2) ~target:(yq (m - 1));
+    Builder.cnot b ~control:(xq (m - 1)) ~target:(yq (m - 1));
+    for i = m - 2 downto 0 do
+      erase_carry b ~c_in:(c i) ~x:(xq i) ~y:(yq i) ~t:t.(i);
+      (match c i with
+      | Some cq -> Builder.cnot b ~control:cq ~target:(xq i)
+      | None -> ());
+      Builder.cnot b ~control:(xq i) ~target:(yq i)
+    done;
+    Array.iter (Builder.free_ancilla b) (Array.init (m - 1) (fun i -> t.(m - 2 - i)))
+  end

@@ -1,0 +1,35 @@
+(** Gidney's temporary-logical-AND adder (proposition 2.4, figures 12--13)
+    and its derived circuits.
+
+    Each carry is computed into a fresh ancilla by one logical-AND (one
+    Toffoli) and erased on the way down by measurement-based uncomputation —
+    an X-basis measurement plus a probability-1/2 classically controlled CZ —
+    so the adder costs [n] Toffoli and [n] ancillas. Because of the
+    measurements these circuits are not invertible by [Builder.emit_adjoint];
+    subtraction uses the complement identity of theorem 2.22 instead
+    (see {!Adder.sub}).
+
+    Register conventions as in {!Adder_vbe}. *)
+
+open Mbu_circuit
+
+val add : Builder.t -> x:Register.t -> y:Register.t -> unit
+(** Proposition 2.4: [n] Toffoli, [n] ancillas. *)
+
+val add_controlled :
+  Builder.t -> ctrl:Gate.qubit -> x:Register.t -> y:Register.t -> unit
+(** Proposition 2.11: [2n + 1] Toffoli (paper quotes 2n), [n] ancillas. *)
+
+val compare :
+  Builder.t -> x:Register.t -> y:Register.t -> target:Gate.qubit -> unit
+(** Proposition 2.28: [target XOR= 1\[x > y\]] with [n] Toffoli and [n]
+    ancillas — the descent erases every carry by MBU, costing no Toffoli. *)
+
+val compare_controlled :
+  Builder.t ->
+  ctrl:Gate.qubit -> x:Register.t -> y:Register.t -> target:Gate.qubit -> unit
+(** Proposition 2.31: [target XOR= ctrl AND 1\[x > y\]], [n + 1] Toffoli. *)
+
+val add_mod : Builder.t -> x:Register.t -> y:Register.t -> unit
+(** Equal-length addition modulo [2^m] (no overflow qubit):
+    [y <- (x + y) mod 2^m]. *)

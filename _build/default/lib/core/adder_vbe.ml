@@ -1,0 +1,85 @@
+open Mbu_circuit
+
+let carry b ~c_in ~x ~y ~c_out =
+  Builder.toffoli b ~c1:x ~c2:y ~target:c_out;
+  Builder.cnot b ~control:x ~target:y;
+  Builder.toffoli b ~c1:c_in ~c2:y ~target:c_out
+
+let carry_adjoint b ~c_in ~x ~y ~c_out =
+  Builder.toffoli b ~c1:c_in ~c2:y ~target:c_out;
+  Builder.cnot b ~control:x ~target:y;
+  Builder.toffoli b ~c1:x ~c2:y ~target:c_out
+
+let sum b ~c_in ~x ~y =
+  Builder.cnot b ~control:x ~target:y;
+  Builder.cnot b ~control:c_in ~target:y
+
+let add b ~x ~y =
+  let n = Register.length x in
+  if Register.length y <> n + 1 then invalid_arg "Adder_vbe.add: length y <> length x + 1";
+  if n = 0 then invalid_arg "Adder_vbe.add: empty addend";
+  Builder.with_ancilla_register b "c" n (fun c ->
+      let cq i = Register.get c i
+      and xq i = Register.get x i
+      and yq i = Register.get y i in
+      (* Rising carry chain; the top carry goes directly into y_n. *)
+      for i = 0 to n - 2 do
+        carry b ~c_in:(cq i) ~x:(xq i) ~y:(yq i) ~c_out:(cq (i + 1))
+      done;
+      carry b ~c_in:(cq (n - 1)) ~x:(xq (n - 1)) ~y:(yq (n - 1)) ~c_out:(yq n);
+      (* Undo the in-carry CNOT on y_{n-1}, then write s_{n-1}. *)
+      Builder.cnot b ~control:(xq (n - 1)) ~target:(yq (n - 1));
+      sum b ~c_in:(cq (n - 1)) ~x:(xq (n - 1)) ~y:(yq (n - 1));
+      (* Falling chain: uncompute each carry, then write each sum bit. *)
+      for i = n - 2 downto 0 do
+        carry_adjoint b ~c_in:(cq i) ~x:(xq i) ~y:(yq i) ~c_out:(cq (i + 1));
+        sum b ~c_in:(cq i) ~x:(xq i) ~y:(yq i)
+      done)
+
+let carry_chain b ~x ~y ~carries =
+  let n = Register.length x in
+  if Register.length y <> n then invalid_arg "Adder_vbe.carry_chain: unequal lengths";
+  if Register.length carries <> n + 1 then
+    invalid_arg "Adder_vbe.carry_chain: carries must have n+1 qubits";
+  for i = 0 to n - 1 do
+    carry b ~c_in:(Register.get carries i) ~x:(Register.get x i)
+      ~y:(Register.get y i) ~c_out:(Register.get carries (i + 1))
+  done
+
+let compare b ~x ~y ~target =
+  let n = Register.length x in
+  if Register.length y <> n then invalid_arg "Adder_vbe.compare: unequal lengths";
+  (* The top carry of x + NOT(y) is 1 iff x > y (see proposition 2.27's
+     discussion: x + (2^n - 1 - y) >= 2^n iff x > y). *)
+  let complement () = Array.iter (fun q -> Builder.x b q) (Register.qubits y) in
+  Builder.with_ancilla_register b "cc" (n + 1) (fun carries ->
+      complement ();
+      carry_chain b ~x ~y ~carries;
+      Builder.cnot b ~control:(Register.get carries n) ~target;
+      Builder.emit_adjoint b (fun () -> carry_chain b ~x ~y ~carries);
+      complement ())
+
+(* Equal-length addition modulo 2^m (no overflow qubit). *)
+let add_mod b ~x ~y =
+  let m = Register.length x in
+  if Register.length y <> m then invalid_arg "Adder_vbe.add_mod: unequal lengths";
+  if m = 0 then invalid_arg "Adder_vbe.add_mod: empty register";
+  if m = 1 then
+    Builder.cnot b ~control:(Register.get x 0) ~target:(Register.get y 0)
+  else
+    Builder.with_ancilla_register b "c" (m - 1) (fun c ->
+        (* c.(i-1) holds carry c_i for 1 <= i <= m-1; c_0 = 0 implicit. *)
+        Builder.with_ancilla b (fun c0 ->
+            let cq i = if i = 0 then c0 else Register.get c (i - 1) in
+            for i = 0 to m - 2 do
+              carry b ~c_in:(cq i) ~x:(Register.get x i) ~y:(Register.get y i)
+                ~c_out:(cq (i + 1))
+            done;
+            Builder.cnot b ~control:(cq (m - 1)) ~target:(Register.get y (m - 1));
+            Builder.cnot b ~control:(Register.get x (m - 1))
+              ~target:(Register.get y (m - 1));
+            for i = m - 2 downto 0 do
+              carry_adjoint b ~c_in:(cq i) ~x:(Register.get x i)
+                ~y:(Register.get y i) ~c_out:(cq (i + 1));
+              sum b ~c_in:(cq i) ~x:(Register.get x i) ~y:(Register.get y i)
+            done))

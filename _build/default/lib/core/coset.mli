@@ -1,0 +1,35 @@
+(** Coset-state encoding (\[Zal06\], \[Gid19a\] — section 1.2 of the paper:
+    "In \[Gid19a\], MBU is used to construct the coset state more
+    effectively").
+
+    A value [x] is encoded as the padded superposition
+    [sum_{c=0}^{2^k - 1} |x + c p> / sqrt(2^k)] over [n + k] qubits. In this
+    encoding a {e modular} addition of a classical constant is a single
+    {e plain} addition — no comparator, no reduction — at the price of [k]
+    padding qubits and an [O(2^-k)]-per-addition encoding error as the top
+    coset branch overflows.
+
+    Preparation is where MBU enters: each padding step puts an ancilla in
+    |+>, conditionally adds [p 2^j], and removes the ancilla with an X-basis
+    measurement. On outcome 0 the branch superposition is created for free;
+    on outcome 1 (probability 1/2) the added branch carries a stray [-1]
+    which is repaired by one comparator-driven phase flip — the expected
+    cost of the fix is half a comparator per padding qubit, the same
+    Bernoulli(1/2) economics as lemma 4.1. *)
+
+open Mbu_circuit
+
+val prepare : Adder.style -> Builder.t -> p:int -> pad:int -> Register.t -> unit
+(** [prepare style b ~p ~pad reg]: [reg] has [n + pad] wires whose low [n]
+    hold [x < p] and whose top [pad] are |0>; afterwards [reg] is the exact
+    coset state of [x]. Requires [0 < p <= 2^n]. *)
+
+val add_const : Adder.style -> Builder.t -> a:int -> Register.t -> unit
+(** Modular addition in the encoding: one plain constant addition modulo
+    [2^(n+pad)] over the whole padded register (definitions 2.15's circuit
+    with no overflow qubit). Exact on all coset branches that do not
+    overflow the padding — fidelity [1 - O(2^-pad)] per addition. *)
+
+val decode : value:int -> p:int -> int
+(** Classical readout: a computational-basis measurement of the coset
+    register yields [x + c p]; the encoded value is its residue. *)

@@ -1,0 +1,19 @@
+(** Restoring division by a classical constant.
+
+    [|x>|0> -> |x mod d>|floor(x / d)>] by schoolbook trial subtraction:
+    for each quotient bit [q_i] (most significant first), compare the
+    running remainder with [d . 2^i] and conditionally subtract it. The
+    comparison outcomes are not garbage — they {e are} the quotient — so
+    unlike the modular adders nothing needs uncomputing; this is the
+    counterpoint circuit showing where MBU has nothing to do. Built entirely
+    from the section-2 comparator and subtractor primitives. *)
+
+open Mbu_circuit
+
+val divmod_const :
+  Adder.style ->
+  Builder.t -> d:int -> x:Register.t -> quotient:Register.t -> unit
+(** [x] (the dividend, [n] qubits) ends holding [x mod d]; [quotient]
+    ([k] qubits, initially |0>) receives [floor (x / d)]. Requires [d >= 1]
+    and [d . 2^(k-1) < 2^n] so every trial subtrahend fits the dividend
+    register. *)

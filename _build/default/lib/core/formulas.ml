@@ -1,0 +1,224 @@
+type cost = {
+  toffoli : float;
+  cnot_cz : float;
+  x : float;
+  qft_units : float;
+  qubits : float;
+  ancillas : float;
+}
+
+let no_cost =
+  { toffoli = Float.nan; cnot_cz = Float.nan; x = Float.nan;
+    qft_units = Float.nan; qubits = Float.nan; ancillas = Float.nan }
+
+type params = { n : int; hp : int; ha : int }
+
+let fn p = float_of_int p.n
+let fhp p = float_of_int p.hp
+let fha p = float_of_int p.ha
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+type t1_row = {
+  t1_name : string;
+  t1_statement : string;
+  t1_cost : mbu:bool -> params -> cost;
+}
+
+let table1 =
+  [ { t1_name = "(5 adder) VBE";
+      t1_statement = "table 1 row 1";
+      t1_cost =
+        (fun ~mbu p ->
+          let n = fn p and hp = fhp p in
+          if mbu then
+            { no_cost with qubits = (4. *. n) +. 2.;
+              toffoli = (16. *. n) +. 8.;
+              cnot_cz = (16. *. n) +. (2. *. hp) +. 18.; x = hp +. 2.5 }
+          else
+            { no_cost with qubits = (4. *. n) +. 2.;
+              toffoli = (20. *. n) +. 10.;
+              cnot_cz = (20. *. n) +. (2. *. hp) +. 22.; x = hp +. 2. }) };
+    { t1_name = "(4 adder) VBE";
+      t1_statement = "table 1 row 2";
+      t1_cost =
+        (fun ~mbu p ->
+          let n = fn p and hp = fhp p in
+          if mbu then
+            { no_cost with qubits = (4. *. n) +. 2.;
+              toffoli = (14. *. n) +. 4.;
+              cnot_cz = (17. *. n) +. (2. *. hp) +. 15.5;
+              x = (2. *. hp) +. 1.5 }
+          else
+            { no_cost with qubits = (4. *. n) +. 2.;
+              toffoli = (16. *. n) +. 4.;
+              cnot_cz = (20. *. n) +. (2. *. hp) +. 18.;
+              x = (2. *. hp) +. 1. }) };
+    { t1_name = "CDKPM";
+      t1_statement = "prop 3.4 / thm 4.3";
+      t1_cost =
+        (fun ~mbu p ->
+          let n = fn p and hp = fhp p in
+          if mbu then
+            { no_cost with qubits = (3. *. n) +. 2.; toffoli = 7. *. n;
+              cnot_cz = (14. *. n) +. (2. *. hp) +. 3.5;
+              x = (2. *. hp) +. 1.5 }
+          else
+            { no_cost with qubits = (3. *. n) +. 2.; toffoli = 8. *. n;
+              cnot_cz = (16. *. n) +. (2. *. hp) +. 4.;
+              x = (2. *. hp) +. 1. }) };
+    { t1_name = "Gidney";
+      t1_statement = "prop 3.5 / thm 4.4";
+      t1_cost =
+        (fun ~mbu p ->
+          let n = fn p and hp = fhp p in
+          if mbu then
+            { no_cost with qubits = (4. *. n) +. 2.; toffoli = 3.5 *. n;
+              cnot_cz = (22.75 *. n) +. (2. *. hp) +. 3.5;
+              x = (2. *. hp) +. 1.5 }
+          else
+            { no_cost with qubits = (4. *. n) +. 2.; toffoli = 4. *. n;
+              cnot_cz = (26. *. n) +. (2. *. hp) +. 4.;
+              x = (2. *. hp) +. 1. }) };
+    { t1_name = "CDKPM+Gidney";
+      t1_statement = "thm 3.6 / thm 4.5";
+      t1_cost =
+        (fun ~mbu p ->
+          let n = fn p and hp = fhp p in
+          if mbu then
+            { no_cost with qubits = (3. *. n) +. 2.; toffoli = 5.5 *. n;
+              cnot_cz = (17.75 *. n) +. (2. *. hp) +. 3.5;
+              x = (2. *. hp) +. 1.5 }
+          else
+            { no_cost with qubits = (3. *. n) +. 2.; toffoli = 6. *. n;
+              cnot_cz = (21. *. n) +. (2. *. hp) +. 4.;
+              x = (2. *. hp) +. 1. }) };
+    { t1_name = "Draper";
+      t1_statement = "prop 3.7 / thm 4.6";
+      t1_cost =
+        (fun ~mbu p ->
+          let n = fn p in
+          { no_cost with qubits = (2. *. n) +. 2.;
+            qft_units = (if mbu then 8. else 10.) }) };
+    { t1_name = "Draper (expect)";
+      t1_statement = "table 1 row 7 (amortized end QFTs)";
+      t1_cost =
+        (fun ~mbu p ->
+          let n = fn p in
+          { no_cost with qubits = (2. *. n) +. 2.;
+            qft_units = (if mbu then 6. else 8.) }) } ]
+
+(* ------------------------------------------------------------------ *)
+(* Tables 2-6 *)
+
+type row = { row_name : string; row_statement : string; row_cost : params -> cost }
+
+let table2_plain_adders =
+  [ { row_name = "VBE"; row_statement = "prop 2.2";
+      row_cost =
+        (fun p ->
+          { no_cost with toffoli = 4. *. fn p; ancillas = fn p;
+            cnot_cz = (4. *. fn p) +. 4. }) };
+    { row_name = "CDKPM"; row_statement = "prop 2.3";
+      row_cost =
+        (fun p ->
+          { no_cost with toffoli = 2. *. fn p; ancillas = 1.;
+            cnot_cz = (4. *. fn p) +. 1. }) };
+    { row_name = "Gidney"; row_statement = "prop 2.4";
+      row_cost =
+        (fun p ->
+          { no_cost with toffoli = fn p; ancillas = fn p;
+            cnot_cz = (6. *. fn p) -. 1. }) };
+    { row_name = "Draper"; row_statement = "prop 2.5 / cor 2.7";
+      row_cost = (fun _ -> { no_cost with qft_units = 3.; ancillas = 0. }) } ]
+
+let table3_controlled_adders =
+  [ { row_name = "CDKPM"; row_statement = "thm 2.12";
+      row_cost =
+        (fun p ->
+          { no_cost with toffoli = 3. *. fn p; ancillas = 1.;
+            cnot_cz = (4. *. fn p) +. 1. }) };
+    { row_name = "Gidney"; row_statement = "prop 2.11";
+      row_cost =
+        (fun p ->
+          { no_cost with toffoli = 2. *. fn p; ancillas = fn p +. 1.;
+            cnot_cz = (7. *. fn p) -. 1. }) };
+    { row_name = "Draper"; row_statement = "thm 2.14";
+      row_cost =
+        (fun p -> { no_cost with toffoli = fn p; ancillas = 1.; qft_units = 3. }) } ]
+
+let table4_const_adders =
+  [ { row_name = "CDKPM"; row_statement = "prop 2.16";
+      row_cost =
+        (fun p ->
+          { no_cost with toffoli = 2. *. fn p; ancillas = fn p +. 1.;
+            cnot_cz = (4. *. fn p) +. 1. }) };
+    { row_name = "Gidney"; row_statement = "prop 2.16";
+      row_cost =
+        (fun p ->
+          { no_cost with toffoli = fn p; ancillas = 2. *. fn p;
+            cnot_cz = (6. *. fn p) -. 1. }) };
+    { row_name = "Draper"; row_statement = "prop 2.17";
+      row_cost = (fun _ -> { no_cost with qft_units = 2.; ancillas = 0. }) } ]
+
+let table5_controlled_const_adders =
+  [ { row_name = "CDKPM"; row_statement = "prop 2.19";
+      row_cost =
+        (fun p ->
+          { no_cost with toffoli = 2. *. fn p; ancillas = fn p +. 1.;
+            cnot_cz = (4. *. fn p) +. 1. +. (2. *. fha p) }) };
+    { row_name = "Gidney"; row_statement = "prop 2.19";
+      row_cost =
+        (fun p ->
+          { no_cost with toffoli = fn p; ancillas = 2. *. fn p;
+            cnot_cz = (6. *. fn p) -. 1. +. (2. *. fha p) }) };
+    { row_name = "Draper"; row_statement = "prop 2.20";
+      row_cost = (fun _ -> { no_cost with qft_units = 2.; ancillas = 0. }) } ]
+
+let table6_comparators =
+  [ { row_name = "CDKPM"; row_statement = "prop 2.27";
+      row_cost =
+        (fun p ->
+          { no_cost with toffoli = 2. *. fn p; ancillas = 1.;
+            cnot_cz = (4. *. fn p) +. 1. }) };
+    { row_name = "Gidney"; row_statement = "prop 2.28";
+      row_cost =
+        (fun p ->
+          { no_cost with toffoli = fn p; ancillas = fn p;
+            cnot_cz = (6. *. fn p) +. 1. }) };
+    { row_name = "Draper"; row_statement = "prop 2.26";
+      row_cost = (fun _ -> { no_cost with qft_units = 6.; ancillas = 1. }) } ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 3/4 statements *)
+
+let modadd_cdkpm ~mbu p =
+  { no_cost with ancillas = fn p +. 3.;
+    toffoli = (if mbu then 7. else 8.) *. fn p }
+
+let modadd_gidney ~mbu p =
+  { no_cost with ancillas = (2. *. fn p) +. 3.;
+    toffoli = (if mbu then 3.5 else 4.) *. fn p }
+
+let modadd_mixed ~mbu p =
+  { no_cost with ancillas = fn p +. 3.;
+    toffoli = (if mbu then 5.5 else 6.) *. fn p }
+
+let cmodadd_cdkpm ~mbu p =
+  { no_cost with ancillas = fn p +. 3.;
+    toffoli = (if mbu then (8. *. fn p) +. 0.5 else (9. *. fn p) +. 1.) }
+
+let cmodadd_gidney ~mbu p =
+  { no_cost with ancillas = (2. *. fn p) +. 3.;
+    toffoli = (if mbu then (4.5 *. fn p) +. 0.5 else (5. *. fn p) +. 1.) }
+
+let modadd_const_takahashi_cdkpm ~mbu p =
+  { no_cost with toffoli = (if mbu then 5. else 6.) *. fn p }
+
+let in_range ~mbu p =
+  (* CDKPM comparators: r_COMP = 2n, r'_C-COMP = 2n + 1. *)
+  let r_comp = 2. *. fn p and r_ccomp = (2. *. fn p) +. 1. in
+  { no_cost with
+    toffoli = ((if mbu then 1.5 else 2.) *. r_comp) +. r_ccomp;
+    ancillas = 2. }

@@ -1,0 +1,73 @@
+(** The paper's closed-form resource formulas, transcribed statement by
+    statement — the OCaml counterpart of the authors' symbolic-computation
+    companion repository. The benchmark harness prints these next to the
+    counts measured on the actually constructed circuits.
+
+    Formulas are parameterized by the register width [n] and, where relevant,
+    the Hamming weights [hp = |p|] and [ha = |a|] of the classical constants.
+    Fields the paper does not state are [Float.nan] (printed as "-"). *)
+
+type cost = {
+  toffoli : float;
+  cnot_cz : float;  (** the combined CNOT,CZ column of table 1 *)
+  x : float;
+  qft_units : float;  (** Draper rows: cost in [QFT_{n+1}] equivalents *)
+  qubits : float;  (** total logical qubits *)
+  ancillas : float;
+}
+
+val no_cost : cost
+(** All-[nan]. *)
+
+type params = { n : int; hp : int; ha : int }
+
+(** {1 Table 1: modular addition} *)
+
+type t1_row = {
+  t1_name : string;  (** e.g. "(5 adder) VBE" *)
+  t1_statement : string;  (** theorem/proposition reference *)
+  t1_cost : mbu:bool -> params -> cost;
+}
+
+val table1 : t1_row list
+(** Rows in the paper's order: 5-adder VBE, 4-adder VBE, CDKPM, Gidney,
+    CDKPM+Gidney, Draper, Draper (expectation). *)
+
+(** {1 Tables 2--6: plain arithmetic} *)
+
+type row = {
+  row_name : string;
+  row_statement : string;
+  row_cost : params -> cost;
+}
+
+val table2_plain_adders : row list
+val table3_controlled_adders : row list
+val table4_const_adders : row list
+val table5_controlled_const_adders : row list
+val table6_comparators : row list
+
+(** {1 Section 3/4 statements: modular adders by statement} *)
+
+val modadd_cdkpm : mbu:bool -> params -> cost
+(** Proposition 3.4 / theorem 4.3: [8n] vs [7n] Toffoli, [n+3] ancillas. *)
+
+val modadd_gidney : mbu:bool -> params -> cost
+(** Proposition 3.5 / theorem 4.4: [4n] vs [3.5n], [2n+3] ancillas. *)
+
+val modadd_mixed : mbu:bool -> params -> cost
+(** Theorem 3.6 / theorem 4.5: [6n] vs [5.5n], [n+3] ancillas. *)
+
+val cmodadd_cdkpm : mbu:bool -> params -> cost
+(** Proposition 3.10 / theorem 4.8: [9n+1] vs [8n+0.5], [n+3] ancillas. *)
+
+val cmodadd_gidney : mbu:bool -> params -> cost
+(** Proposition 3.11 / theorem 4.9: [5n+1] vs [4.5n+0.5], [2n+3] ancillas. *)
+
+val modadd_const_takahashi_cdkpm : mbu:bool -> params -> cost
+(** Proposition 3.15 / theorem 4.11 with CDKPM subroutines: [6n] vs [5n]
+    Toffoli — the 16.7% improvement quoted in section 1.1. *)
+
+val in_range : mbu:bool -> params -> cost
+(** Theorem 4.13 with CDKPM comparators: [2 r_COMP + r'_C-COMP] vs
+    [1.5 r_COMP + r'_C-COMP] — the ~25% saving. *)

@@ -1,0 +1,73 @@
+type params = {
+  physical_error_rate : float;
+  threshold : float;
+  prefactor : float;
+  cycle_time_ns : float;
+  target_failure : float;
+  factories : int;
+  factory_footprint : int;
+}
+
+let default_params =
+  { physical_error_rate = 1e-3; threshold = 1e-2; prefactor = 0.1;
+    cycle_time_ns = 1000.; target_failure = 1e-2; factories = 4;
+    factory_footprint = 12 }
+
+type workload = { toffoli : float; toffoli_depth : float; logical_qubits : int }
+
+let workload_of_resources (r : Resources.t) =
+  { toffoli = r.Resources.toffoli;
+    toffoli_depth = r.Resources.toffoli_depth;
+    logical_qubits = r.Resources.qubits }
+
+type estimate = {
+  code_distance : int;
+  logical_error_per_round : float;
+  physical_qubits : int;
+  runtime_seconds : float;
+  toffoli_rate_hz : float;
+}
+
+let logical_error p d =
+  p.prefactor *. ((p.physical_error_rate /. p.threshold) ** (float_of_int (d + 1) /. 2.))
+
+(* Cycles of the whole computation at distance d: each Toffoli occupies a
+   factory for d cycles; with k factories the Toffoli stream drains at k per
+   d cycles, and the depth is a lower bound. *)
+let cycles p w d =
+  let fd = float_of_int d in
+  Float.max
+    (w.toffoli /. float_of_int p.factories)
+    w.toffoli_depth
+  *. fd
+
+let estimate ?(params = default_params) w =
+  if w.toffoli <= 0. || w.logical_qubits <= 0 then
+    invalid_arg "Ft_estimate.estimate: empty workload";
+  (* routing overhead: one ancilla lane per data tile, the usual 2x *)
+  let logical_tiles = 2 * w.logical_qubits in
+  let budget_ok d =
+    let rounds = cycles params w d *. float_of_int logical_tiles in
+    rounds *. logical_error params d <= params.target_failure
+  in
+  let rec find d = if d > 99 then None else if budget_ok d then Some d else find (d + 2) in
+  match find 3 with
+  | None -> invalid_arg "Ft_estimate.estimate: no distance under 100 meets the budget"
+  | Some d ->
+      let tile = 2 * d * d in
+      let physical_qubits =
+        (logical_tiles * tile) + (params.factories * params.factory_footprint * tile)
+      in
+      let total_cycles = cycles params w d in
+      let runtime_seconds = total_cycles *. params.cycle_time_ns *. 1e-9 in
+      { code_distance = d;
+        logical_error_per_round = logical_error params d;
+        physical_qubits;
+        runtime_seconds;
+        toffoli_rate_hz = w.toffoli /. Float.max runtime_seconds 1e-12 }
+
+let pp fmt e =
+  Format.fprintf fmt
+    "d=%d, %d physical qubits, %.3g s runtime (%.3g Tof/s, p_L=%.1e)"
+    e.code_distance e.physical_qubits e.runtime_seconds e.toffoli_rate_hz
+    e.logical_error_per_round

@@ -1,0 +1,54 @@
+(** Surface-code resource estimation.
+
+    The paper motivates its Toffoli savings by "running quantum algorithms
+    in early error-corrected settings" (section 1.1) and cites the
+    fault-tolerant estimates of \[GE21; Gou+23; Lit23\]. This module applies
+    the standard lattice-surgery cost model those works use, so the MBU
+    savings can be read in physical qubits and wall-clock time rather than
+    abstract gate counts:
+
+    - logical error per qubit-round [p_L(d) = a (p / p_th)^((d+1)/2)];
+    - the code distance is the smallest odd [d] keeping the total logical
+      failure (qubit-rounds x p_L) under the target budget;
+    - each logical qubit occupies [2 d^2] physical qubits;
+    - Toffolis are consumed at one per [d]-cycle factory slot; runtime is
+      [max(toffoli / factories, toffoli_depth) . d . t_cycle].
+
+    The model is deliberately coarse (constant-factor agreement with
+    \[GE21\]-class estimates, not decimal-place agreement) and every knob is
+    an explicit parameter. *)
+
+type params = {
+  physical_error_rate : float;  (** per-operation physical error, e.g. 1e-3 *)
+  threshold : float;  (** surface-code threshold, e.g. 1e-2 *)
+  prefactor : float;  (** the [a] in [p_L], e.g. 0.1 *)
+  cycle_time_ns : float;  (** surface-code cycle, e.g. 1000 ns *)
+  target_failure : float;  (** whole-run failure budget, e.g. 1e-2 *)
+  factories : int;  (** parallel Toffoli/T factories *)
+  factory_footprint : int;  (** physical qubits per factory, in units of 2d^2 *)
+}
+
+val default_params : params
+(** Superconducting-flavoured defaults: p = 1e-3, 1 us cycles, 1% budget,
+    4 factories of footprint 12 logical tiles. *)
+
+type workload = {
+  toffoli : float;  (** expected Toffoli (MBU accounting allowed) *)
+  toffoli_depth : float;
+  logical_qubits : int;
+}
+
+val workload_of_resources : Resources.t -> workload
+
+type estimate = {
+  code_distance : int;
+  logical_error_per_round : float;
+  physical_qubits : int;  (** data + routing + factories *)
+  runtime_seconds : float;
+  toffoli_rate_hz : float;
+}
+
+val estimate : ?params:params -> workload -> estimate
+(** Raises [Invalid_argument] if no distance up to 99 meets the budget. *)
+
+val pp : Format.formatter -> estimate -> unit

@@ -1,0 +1,61 @@
+open Mbu_circuit
+
+(* Carries of v + 1: c_0 = 1, c_1 = y_0, c_{i+1} = c_i AND y_i. The flips
+   y_i <- y_i XOR c_i run from the top down, erasing each prefix AND just
+   after its use, while the lower bits still hold their original values. *)
+let apply b y =
+  let m = Register.length y in
+  let yq = Register.get y in
+  if m = 0 then invalid_arg "Increment.apply: empty register";
+  if m >= 2 then begin
+    let t = Array.make m (-1) in
+    (* t.(i) holds c_i for 2 <= i <= m-1 *)
+    for i = 2 to m - 1 do
+      t.(i) <- Builder.alloc_ancilla b;
+      if i = 2 then Logical_and.compute b ~c1:(yq 0) ~c2:(yq 1) ~target:t.(2)
+      else Logical_and.compute b ~c1:t.(i - 1) ~c2:(yq (i - 1)) ~target:t.(i)
+    done;
+    for i = m - 1 downto 2 do
+      Builder.cnot b ~control:t.(i) ~target:(yq i);
+      (if i = 2 then Logical_and.uncompute b ~c1:(yq 0) ~c2:(yq 1) ~target:t.(2)
+       else Logical_and.uncompute b ~c1:t.(i - 1) ~c2:(yq (i - 1)) ~target:t.(i));
+      Builder.free_ancilla b t.(i)
+    done;
+    Builder.cnot b ~control:(yq 0) ~target:(yq 1)
+  end;
+  Builder.x b (yq 0)
+
+let complement b y = Array.iter (fun q -> Builder.x b q) (Register.qubits y)
+
+let apply_decrement b y =
+  complement b y;
+  apply b y;
+  complement b y
+
+(* Controlled version: c_1 = ctrl AND y_0 and the final flip of y_0 becomes
+   a CNOT from the control. *)
+let apply_controlled b ~ctrl y =
+  let m = Register.length y in
+  let yq = Register.get y in
+  if m = 0 then invalid_arg "Increment.apply_controlled: empty register";
+  if m >= 2 then begin
+    let t = Array.make m (-1) in
+    (* t.(i) holds c_i for 1 <= i <= m-1 *)
+    for i = 1 to m - 1 do
+      t.(i) <- Builder.alloc_ancilla b;
+      if i = 1 then Logical_and.compute b ~c1:ctrl ~c2:(yq 0) ~target:t.(1)
+      else Logical_and.compute b ~c1:t.(i - 1) ~c2:(yq (i - 1)) ~target:t.(i)
+    done;
+    for i = m - 1 downto 1 do
+      Builder.cnot b ~control:t.(i) ~target:(yq i);
+      (if i = 1 then Logical_and.uncompute b ~c1:ctrl ~c2:(yq 0) ~target:t.(1)
+       else Logical_and.uncompute b ~c1:t.(i - 1) ~c2:(yq (i - 1)) ~target:t.(i));
+      Builder.free_ancilla b t.(i)
+    done
+  end;
+  Builder.cnot b ~control:ctrl ~target:(yq 0)
+
+let apply_decrement_controlled b ~ctrl y =
+  complement b y;
+  apply_controlled b ~ctrl y;
+  complement b y

@@ -1,0 +1,8 @@
+open Mbu_circuit
+
+let compute b ~c1 ~c2 ~target = Builder.toffoli b ~c1 ~c2 ~target
+
+let uncompute b ~c1 ~c2 ~target =
+  Builder.h b target;
+  let bit = Builder.measure ~reset:true b target in
+  Builder.if_bit b bit (fun () -> Builder.cz b c1 c2)

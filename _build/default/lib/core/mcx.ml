@@ -1,0 +1,31 @@
+open Mbu_circuit
+
+(* Conjunction ladder: fold the controls pairwise into fresh AND ancillas,
+   erased in reverse by MBU. *)
+let rec with_conjunction b ~controls f =
+  match controls with
+  | [] ->
+      (* empty conjunction is true: use a borrowed |1> wire *)
+      Builder.with_ancilla b (fun w ->
+          Builder.x b w;
+          f w;
+          Builder.x b w)
+  | [ c ] -> f c
+  | c1 :: c2 :: rest ->
+      Builder.with_ancilla b (fun t ->
+          Logical_and.compute b ~c1 ~c2 ~target:t;
+          with_conjunction b ~controls:(t :: rest) f;
+          Logical_and.uncompute b ~c1 ~c2 ~target:t)
+
+let apply b ~controls ~target =
+  match controls with
+  | [] -> Builder.x b target
+  | [ c ] -> Builder.cnot b ~control:c ~target
+  | controls -> with_conjunction b ~controls (fun w -> Builder.cnot b ~control:w ~target)
+
+let apply_z b ~controls ~target =
+  match controls with
+  | [] -> Builder.z b target
+  | [ c ] -> Builder.cz b c target
+  | controls ->
+      with_conjunction b ~controls (fun w -> Builder.cz b w target)

@@ -1,0 +1,24 @@
+(** Multi-controlled gates via logical-AND ladders.
+
+    A [k]-controlled X decomposes into [k - 1] temporary logical-ANDs
+    computing the conjunction tree, one CNOT, and the measurement-based
+    erasure of the tree — so the expensive (Toffoli-equivalent) part is
+    [k - 1] ANDs computed and zero uncomputed, the same economics as every
+    other MBU construction in this library. Used by oracles that condition
+    on a whole register (e.g. the Grover example). *)
+
+open Mbu_circuit
+
+val apply : Builder.t -> controls:Gate.qubit list -> target:Gate.qubit -> unit
+(** [target XOR= AND of controls]. [controls] may be empty (plain X) or a
+    singleton (CNOT). *)
+
+val apply_z : Builder.t -> controls:Gate.qubit list -> target:Gate.qubit -> unit
+(** Phase version: [(-1)^(target AND controls...)] — the Grover marking
+    gate. Requires at least the target. *)
+
+val with_conjunction :
+  Builder.t -> controls:Gate.qubit list -> (Gate.qubit -> unit) -> unit
+(** [with_conjunction b ~controls f] computes the AND of all controls into a
+    temporary wire, passes it to [f], then erases it by MBU. With zero or
+    one control the wire is borrowed rather than computed. *)

@@ -1,0 +1,247 @@
+open Mbu_circuit
+
+type move = Pebble of int | Unpebble of int | Measure of int | Unghost of int
+type strategy = move list
+
+type cost = {
+  applications : int;
+  space : int;
+  measurements : int;
+  expected_fixups : float;
+}
+
+(* Shared game engine: step the configuration, reporting the first illegal
+   move. [on_move] lets the compiler emit gates alongside the bookkeeping. *)
+let play ~chain_length ~on_move strategy =
+  let m = chain_length in
+  if m < 1 then invalid_arg "Pebble: chain_length must be positive";
+  let pebbled = Array.make (m + 1) false in
+  pebbled.(0) <- true;
+  (* node 0 is the input *)
+  let ghost = Array.make (m + 1) false in
+  let apps = ref 0 and measures = ref 0 and unghosts = ref 0 in
+  let peak = ref 0 in
+  let count_pebbles () =
+    let c = ref 0 in
+    for i = 1 to m do
+      if pebbled.(i) then incr c
+    done;
+    !c
+  in
+  let check cond msg = if cond then Ok () else Error msg in
+  let step mv =
+    let r =
+      match mv with
+      | Pebble i ->
+          Result.bind
+            (check (i >= 1 && i <= m) (Printf.sprintf "pebble %d out of range" i))
+            (fun () ->
+              Result.bind
+                (check pebbled.(i - 1)
+                   (Printf.sprintf "pebble %d: predecessor bare" i))
+                (fun () ->
+                  Result.bind
+                    (check (not pebbled.(i)) (Printf.sprintf "pebble %d: occupied" i))
+                    (fun () ->
+                      pebbled.(i) <- true;
+                      incr apps;
+                      Ok ())))
+      | Unpebble i ->
+          Result.bind
+            (check (i >= 1 && i <= m) (Printf.sprintf "unpebble %d out of range" i))
+            (fun () ->
+              Result.bind
+                (check pebbled.(i - 1)
+                   (Printf.sprintf "unpebble %d: predecessor bare" i))
+                (fun () ->
+                  Result.bind
+                    (check pebbled.(i) (Printf.sprintf "unpebble %d: empty" i))
+                    (fun () ->
+                      pebbled.(i) <- false;
+                      incr apps;
+                      Ok ())))
+      | Measure i ->
+          Result.bind
+            (check (i >= 1 && i <= m) (Printf.sprintf "measure %d out of range" i))
+            (fun () ->
+              Result.bind
+                (check pebbled.(i) (Printf.sprintf "measure %d: empty" i))
+                (fun () ->
+                  Result.bind
+                    (check (not ghost.(i))
+                       (Printf.sprintf "measure %d: ghost already present" i))
+                    (fun () ->
+                      pebbled.(i) <- false;
+                      ghost.(i) <- true;
+                      incr measures;
+                      Ok ())))
+      | Unghost i ->
+          Result.bind
+            (check (i >= 1 && i <= m) (Printf.sprintf "unghost %d out of range" i))
+            (fun () ->
+              Result.bind
+                (check ghost.(i) (Printf.sprintf "unghost %d: no ghost" i))
+                (fun () ->
+                  Result.bind
+                    (check pebbled.(i)
+                       (Printf.sprintf "unghost %d: node not re-pebbled" i))
+                    (fun () ->
+                      ghost.(i) <- false;
+                      incr unghosts;
+                      Ok ())))
+    in
+    Result.bind r (fun () ->
+        on_move mv;
+        peak := max !peak (count_pebbles ());
+        Ok ())
+  in
+  let rec run = function
+    | [] -> Ok ()
+    | mv :: rest -> Result.bind (step mv) (fun () -> run rest)
+  in
+  Result.bind (run strategy) (fun () ->
+      let final_ok =
+        pebbled.(m)
+        && (not (Array.exists Fun.id ghost))
+        &&
+        let rec inner i = i >= m || ((not pebbled.(i)) && inner (i + 1)) in
+        inner 1
+      in
+      if final_ok then
+        Ok
+          { applications = !apps; space = !peak; measurements = !measures;
+            expected_fixups = float_of_int !unghosts /. 2. }
+      else Error "final configuration is not {node m}, or ghosts remain")
+
+let validate ~chain_length strategy =
+  Result.map (fun _ -> ()) (play ~chain_length ~on_move:ignore strategy)
+
+let cost ~chain_length strategy =
+  match play ~chain_length ~on_move:ignore strategy with
+  | Ok c -> c
+  | Error msg -> invalid_arg ("Pebble.cost: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Strategies *)
+
+let naive ~chain_length =
+  let m = chain_length in
+  List.init m (fun i -> Pebble (i + 1))
+  @ List.init (m - 1) (fun i -> Unpebble (m - 1 - i))
+
+(* Recursive checkpointing over the segment (lo, hi]: pebble hi using the
+   nodes strictly between, leaving only hi pebbled in the segment. *)
+let bennett ~chain_length =
+  let rec seg lo hi =
+    if hi = lo + 1 then [ Pebble hi ]
+    else begin
+      let mid = (lo + hi) / 2 in
+      seg lo mid @ seg mid hi @ unseg lo mid
+    end
+  and unseg lo hi =
+    (* exact reverse with Pebble <-> Unpebble *)
+    List.rev_map
+      (function
+        | Pebble i -> Unpebble i
+        | Unpebble i -> Pebble i
+        | (Measure _ | Unghost _) as mv -> mv)
+      (seg lo hi)
+  in
+  seg 0 chain_length
+
+(* Measure-as-you-go with checkpoints every [stride]: linear time, sqrt-ish
+   space — the regime the classical game cannot reach cheaply. *)
+let spooky ?stride ~chain_length () =
+  let m = chain_length in
+  let stride =
+    match stride with
+    | Some s ->
+        if s < 1 then invalid_arg "Pebble.spooky: stride must be positive";
+        s
+    | None -> max 1 (int_of_float (sqrt (float_of_int m)))
+  in
+  let is_checkpoint i = i = m || (i mod stride = 0 && i > 0) in
+  let moves = ref [] in
+  let emit mv = moves := mv :: !moves in
+  (* forward sweep: measure every non-checkpoint node once its successor
+     exists *)
+  for i = 1 to m do
+    emit (Pebble i);
+    if i >= 2 && not (is_checkpoint (i - 1)) then emit (Measure (i - 1))
+  done;
+  (* exorcise each segment's ghosts from its left checkpoint *)
+  let checkpoints =
+    List.filter is_checkpoint (List.init m (fun i -> i + 1))
+  in
+  let segments =
+    let rec pair lo = function
+      | [] -> []
+      | c :: rest -> (lo, c) :: pair c rest
+    in
+    pair 0 checkpoints
+  in
+  List.iter
+    (fun (lo, hi) ->
+      for i = lo + 1 to hi - 1 do
+        emit (Pebble i);
+        emit (Unghost i)
+      done;
+      for i = hi - 1 downto lo + 1 do
+        emit (Unpebble i)
+      done)
+    segments;
+  (* dismantle the interior checkpoints from the right *)
+  let interior = List.rev (List.filter (fun c -> c <> m) checkpoints) in
+  List.iter
+    (fun c ->
+      let lo = ((c - 1) / stride) * stride in
+      (* lo is the previous checkpoint (or 0) *)
+      for i = lo + 1 to c - 1 do
+        emit (Pebble i)
+      done;
+      emit (Unpebble c);
+      for i = c - 1 downto lo + 1 do
+        emit (Unpebble i)
+      done)
+    interior;
+  List.rev !moves
+
+(* ------------------------------------------------------------------ *)
+(* Circuit realization over affine boolean chains *)
+
+type chain = (bool * bool) array
+
+let chain_value chain ~input i =
+  let rec go v j =
+    if j > i then v
+    else
+      let a, c = chain.(j - 1) in
+      go ((a && v) <> c) (j + 1)
+  in
+  if i = 0 then input else go input 1
+
+let compile b ~chain ~input strategy =
+  let m = Array.length chain in
+  let nodes = Builder.fresh_register b "node" m in
+  let node i = Register.get nodes (i - 1) in
+  let prev i = if i = 1 then input else node (i - 1) in
+  let last_bit = Array.make (m + 1) (-1) in
+  let apply_f i =
+    let a, c = chain.(i - 1) in
+    if a then Builder.cnot b ~control:(prev i) ~target:(node i);
+    if c then Builder.x b (node i)
+  in
+  let on_move = function
+    | Pebble i | Unpebble i -> apply_f i
+    | Measure i ->
+        Builder.h b (node i);
+        last_bit.(i) <- Builder.measure ~reset:true b (node i)
+    | Unghost i ->
+        (* The ghost phase is (-1)^{x_i}, present exactly when the X-basis
+           measurement returned 1; the re-pebbled node holds x_i, so an
+           outcome-conditioned Z cancels it. *)
+        Builder.if_bit b last_bit.(i) (fun () -> Builder.z b (node i))
+  in
+  match play ~chain_length:m ~on_move strategy with
+  | Ok _ -> nodes
+  | Error msg -> invalid_arg ("Pebble.compile: " ^ msg)

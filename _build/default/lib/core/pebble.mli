@@ -1,0 +1,76 @@
+(** Spooky pebble games (section 1.2's related work: \[Ben89; Gid19b;
+    KSS21\]).
+
+    Reversibly computing a chain [x_0 -> x_1 -> ... -> x_m] is modelled as a
+    pebble game on a line: a pebble on node [i] means the value [x_i] is
+    held in a register. The classical (Bennett) game allows placing or
+    removing a pebble on [i] only while [i-1] is pebbled (node 0, the input,
+    is always available); computing with few pebbles then costs
+    exponentially many recomputations. Gidney's {e spooky} game adds the
+    measurement move: a pebble may be removed at any time by an X-basis
+    measurement, leaving a {e ghost} — a possible phase [(-1)^{x_i}] haunting
+    the superposition — which must later be exorcised by re-pebbling the node
+    and applying an outcome-conditioned Z. Ghosts materialize with
+    probability 1/2, so their repair is free half the time; crucially the
+    measurement itself needs {e no} precondition, which is what breaks the
+    classical space lower bound.
+
+    This module provides the game (moves, legality, cost accounting),
+    reference strategies, and a compiler from strategies to real circuits
+    over a chain of affine boolean functions, which the test suite runs on
+    the simulator to confirm that ghosts are genuinely exorcised (flat
+    phases on superposed inputs). *)
+
+open Mbu_circuit
+
+type move =
+  | Pebble of int  (** compute node [i] (1-based); requires [i-1] pebbled *)
+  | Unpebble of int  (** uncompute node [i]; requires [i-1] pebbled *)
+  | Measure of int  (** measure node [i] away; leaves a ghost *)
+  | Unghost of int  (** exorcise the ghost on [i]; requires [i] re-pebbled *)
+
+type strategy = move list
+
+val validate : chain_length:int -> strategy -> (unit, string) result
+(** Check legality of every move and that the final configuration is exactly
+    {pebble on node [m], no ghosts}. *)
+
+type cost = {
+  applications : int;  (** number of [U_f] applications (Pebble + Unpebble) *)
+  space : int;  (** peak number of simultaneous pebbles *)
+  measurements : int;
+  expected_fixups : float;  (** Unghost count / 2 — expected conditioned Zs *)
+}
+
+val cost : chain_length:int -> strategy -> cost
+(** Raises [Invalid_argument] if the strategy is illegal. *)
+
+(** {1 Reference strategies} *)
+
+val naive : chain_length:int -> strategy
+(** Pebble forward, unpebble backward: [2m - 1] applications, [m] pebbles. *)
+
+val bennett : chain_length:int -> strategy
+(** Classic recursive checkpointing: [O(m^{log2 3})] applications,
+    [O(log m)] pebbles. *)
+
+val spooky : ?stride:int -> chain_length:int -> unit -> strategy
+(** Measure-as-you-go with checkpoints every [stride] nodes (default
+    [~sqrt m]): [O(m)] applications with [O(sqrt m)] pebbles — a point the
+    classical game cannot reach without exponential recomputation. *)
+
+(** {1 Circuit realization} *)
+
+type chain = (bool * bool) array
+(** Affine boolean chain: [f_i (v) = (a_i AND v) XOR c_i], entry [i-1]
+    describing [f_i]. *)
+
+val chain_value : chain -> input:bool -> int -> bool
+(** [x_i] for the given input bit. *)
+
+val compile :
+  Builder.t -> chain:chain -> input:Gate.qubit -> strategy -> Register.t
+(** Emit the strategy as a circuit. Allocates one node qubit per chain
+    position (returned as a register, node [i] at index [i-1]); the final
+    value [x_m] sits in the last qubit. Raises [Invalid_argument] on illegal
+    strategies. *)

@@ -1,0 +1,109 @@
+open Mbu_circuit
+
+let check name ~address ~entries =
+  let k = Register.length address in
+  if k <= 0 || k > 20 then invalid_arg (name ^ ": address width out of range");
+  if entries <> 1 lsl k then
+    invalid_arg (Printf.sprintf "%s: need %d data entries" name (1 lsl k))
+
+(* Unary iteration over all addresses, MSB first. [f ~ctrl ~address] is
+   called once per leaf; [ctrl = None] means unconditional. Each internal
+   node costs one temporary logical-AND, erased by MBU:
+     t = c AND a_bit          (right subtree control)
+     t XOR c = c AND NOT a_bit (left subtree control). *)
+let iterate b ~address f =
+  let k = Register.length address in
+  let rec walk ~ctrl ~bit ~base =
+    if bit < 0 then f ~ctrl ~address:base
+    else
+      let ab = Register.get address bit in
+      match ctrl with
+      | None ->
+          Builder.x b ab;
+          walk ~ctrl:(Some ab) ~bit:(bit - 1) ~base;
+          Builder.x b ab;
+          walk ~ctrl:(Some ab) ~bit:(bit - 1) ~base:(base lor (1 lsl bit))
+      | Some c ->
+          Builder.with_ancilla b (fun t ->
+              Logical_and.compute b ~c1:c ~c2:ab ~target:t;
+              Builder.cnot b ~control:c ~target:t;
+              walk ~ctrl:(Some t) ~bit:(bit - 1) ~base;
+              Builder.cnot b ~control:c ~target:t;
+              walk ~ctrl:(Some t) ~bit:(bit - 1) ~base:(base lor (1 lsl bit));
+              Logical_and.uncompute b ~c1:c ~c2:ab ~target:t)
+  in
+  walk ~ctrl:None ~bit:(k - 1) ~base:0
+
+let lookup b ~address ~target ~data =
+  check "Qrom.lookup" ~address ~entries:(Array.length data);
+  let w = Register.length target in
+  iterate b ~address (fun ~ctrl ~address:a ->
+      let v = data.(a) in
+      if v < 0 || (w < 62 && v lsr w <> 0) then
+        invalid_arg "Qrom.lookup: entry does not fit target";
+      for j = 0 to w - 1 do
+        if (v lsr j) land 1 = 1 then
+          match ctrl with
+          | None -> Builder.x b (Register.get target j)
+          | Some c -> Builder.cnot b ~control:c ~target:(Register.get target j)
+      done)
+
+let unlookup_via_lookup b ~address ~target ~data = lookup b ~address ~target ~data
+
+(* One-hot (unary) encoding of the low address bits: a ladder of controlled
+   swaps walks the indicator from position 0 to position a_lo. *)
+let onehot_prepare b ~low_bits ~unary =
+  Builder.x b (Register.get unary 0);
+  Array.iteri
+    (fun bidx ab ->
+      for i = (1 lsl bidx) - 1 downto 0 do
+        let src = Register.get unary i and dst = Register.get unary (i + (1 lsl bidx)) in
+        (* CSWAP(ab; src, dst), one Toffoli *)
+        Builder.cnot b ~control:dst ~target:src;
+        Builder.toffoli b ~c1:ab ~c2:src ~target:dst;
+        Builder.cnot b ~control:dst ~target:src
+      done)
+    low_bits
+
+let onehot_unprepare b ~low_bits ~unary =
+  Builder.emit_adjoint b (fun () -> onehot_prepare b ~low_bits ~unary)
+
+(* (-1)^{table.(a)}: one-hot the floor(k/2) low bits, then a unary iteration
+   over the high bits applies the per-row CZ mask onto the one-hot wires. *)
+let phase_lookup b ~address ~table =
+  let k = Register.length address in
+  check "Qrom.phase_lookup" ~address ~entries:(Array.length table);
+  let k_lo = k / 2 in
+  let low_bits = Array.init k_lo (Register.get address) in
+  let hi = Register.sub address ~pos:k_lo ~len:(k - k_lo) in
+  Builder.with_ancilla_register b "onehot" (1 lsl k_lo) (fun unary ->
+      onehot_prepare b ~low_bits ~unary;
+      if k_lo = k then
+        (* degenerate: k <= 1, no high bits *)
+        Array.iteri
+          (fun a bit -> if bit then Builder.z b (Register.get unary a))
+          table
+      else
+        iterate b ~address:hi (fun ~ctrl ~address:h ->
+            for i = 0 to (1 lsl k_lo) - 1 do
+              if table.((h lsl k_lo) lor i) then
+                match ctrl with
+                | None -> Builder.z b (Register.get unary i)
+                | Some c -> Builder.cz b c (Register.get unary i)
+            done);
+      onehot_unprepare b ~low_bits ~unary)
+
+(* Measurement-based unlookup: X-measure every payload qubit; each outcome-1
+   bit leaves the phase (-1)^{data.(a)[j]} on the address register, repaired
+   by one phase lookup of that bit column. *)
+let unlookup b ~address ~target ~data =
+  check "Qrom.unlookup" ~address ~entries:(Array.length data);
+  let w = Register.length target in
+  for j = 0 to w - 1 do
+    let tq = Register.get target j in
+    Builder.h b tq;
+    let bit = Builder.measure ~reset:true b tq in
+    Builder.if_bit b bit (fun () ->
+        let column = Array.map (fun v -> (v lsr j) land 1 = 1) data in
+        phase_lookup b ~address ~table:column)
+  done

@@ -1,0 +1,45 @@
+(** QROM table lookup and measurement-based unlookup.
+
+    The paper's related-work section highlights the most dramatic use of MBU
+    in the literature \[Bab+18; Gid19c\]: a table lookup over [L = 2^k]
+    entries costs [~L] Toffoli, but *un*looking it up costs only
+    [O(sqrt L)] — measure the target in the X basis, and fix the leftover
+    data-dependent phase with a much smaller lookup that combines a one-hot
+    (unary) encoding of the low address bits with a phase lookup over the
+    high ones.
+
+    [lookup] uses the standard unary-iteration tree: one temporary
+    logical-AND per internal node (erased by MBU on the way out), [k - 1]
+    live ancillas.
+
+    [unlookup] implements the measurement-based uncomputation: each target
+    qubit is X-measured; for every outcome-1 bit, a phase fixup
+    [(-1)^{l_a\[j\]}] is applied via a [~3 sqrt L]-Toffoli one-hot/phase-
+    lookup sandwich. (The literature folds all fixups into a single lookup
+    of the XOR mask, which requires classically recomputing the table from
+    the outcomes at run time; this implementation applies one conditional
+    fixup per data bit instead — identical semantics, a factor [w/2] in the
+    expected fixup cost for [w]-bit payloads, and still asymptotically
+    [O(sqrt L)] per bit versus the [O(L)] naive unlookup.)
+
+    Addresses and data are little-endian; [data] must have exactly
+    [2^(length address)] entries, each fitting in [length target] bits. *)
+
+open Mbu_circuit
+
+val lookup :
+  Builder.t -> address:Register.t -> target:Register.t -> data:int array -> unit
+(** [|a>|t> -> |a>|t XOR data.(a)>] — equation (4). *)
+
+val unlookup :
+  Builder.t -> address:Register.t -> target:Register.t -> data:int array -> unit
+(** Erase [|a>|data.(a)> -> |a>|0>] by measurement-based uncomputation. *)
+
+val unlookup_via_lookup :
+  Builder.t -> address:Register.t -> target:Register.t -> data:int array -> unit
+(** The naive [O(L)] uncomputation (the lookup is self-inverse), kept as the
+    baseline for the benchmark. *)
+
+val phase_lookup : Builder.t -> address:Register.t -> table:bool array -> unit
+(** [|a> -> (-1)^{table.(a)} |a>] with [~3 sqrt L] Toffoli — the fixup
+    subroutine, exposed for reuse and testing. *)

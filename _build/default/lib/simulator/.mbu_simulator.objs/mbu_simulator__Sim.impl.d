@@ -1,0 +1,1 @@
+lib/simulator/sim.ml: Array Builder Circuit Complex Counts Hashtbl Instr Lazy List Mbu_circuit Option Printf Random Register State

@@ -1,0 +1,1 @@
+lib/simulator/sim.mli: Builder Circuit Counts Mbu_circuit Random Register State

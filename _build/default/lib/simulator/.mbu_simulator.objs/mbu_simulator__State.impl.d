@@ -1,0 +1,1 @@
+lib/simulator/state.ml: Complex Format Gate Hashtbl List Mbu_circuit Phase Stdlib String

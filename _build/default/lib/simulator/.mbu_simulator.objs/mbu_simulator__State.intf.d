@@ -1,0 +1,1 @@
+lib/simulator/state.mli: Complex Format Gate Mbu_circuit

@@ -1,0 +1,150 @@
+open Mbu_circuit
+
+type run = { state : State.t; bits : bool array; executed : Counts.t }
+
+let default_rng = lazy (Random.State.make [| 0x6d62755f; 0x51432025 |])
+
+let run ?rng (c : Circuit.t) ~init =
+  let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+  if State.num_qubits init < c.num_qubits then
+    invalid_arg "Sim.run: state narrower than circuit";
+  let bits = Array.make (max c.num_bits 1) false in
+  let executed = ref Counts.zero in
+  let state = ref init in
+  let rec exec = function
+    | [] -> ()
+    | Instr.Gate g :: rest ->
+        state := State.apply_gate !state g;
+        executed := Counts.add !executed (Counts.of_gate g);
+        exec rest
+    | Instr.Measure { qubit; bit; reset } :: rest ->
+        let p1 = State.prob_bit_one !state qubit in
+        let outcome =
+          if p1 <= 1e-12 then false
+          else if p1 >= 1.0 -. 1e-12 then true
+          else Random.State.float rng 1.0 < p1
+        in
+        bits.(bit) <- outcome;
+        state := State.project !state ~qubit ~value:outcome;
+        if reset && outcome then state := State.set_bit_zero !state ~qubit;
+        executed := Counts.add !executed { Counts.zero with measure = 1. };
+        exec rest
+    | Instr.If_bit { bit; value; body } :: rest ->
+        if bits.(bit) = value then exec body;
+        exec rest
+  in
+  exec c.instrs;
+  { state = !state; bits; executed = !executed }
+
+let init_registers ~num_qubits assignments =
+  let idx = ref 0 in
+  List.iter
+    (fun (reg, v) ->
+      let n = Register.length reg in
+      if v < 0 || (n < 62 && v >= 1 lsl n) then
+        invalid_arg
+          (Printf.sprintf "Sim.init_registers: %d does not fit %s"
+             v (Register.name reg));
+      for i = 0 to n - 1 do
+        if (v lsr i) land 1 = 1 then idx := !idx lor (1 lsl Register.get reg i)
+      done)
+    assignments;
+  State.basis ~num_qubits !idx
+
+let run_builder ?rng b ~inits =
+  let c = Builder.to_circuit b in
+  let init = init_registers ~num_qubits:(Builder.num_qubits b) inits in
+  run ?rng c ~init
+
+let register_value state reg =
+  (* Accumulate from the MSB down so bit i lands at weight 2^i. *)
+  let rec from_msb acc i =
+    if i < 0 then Some acc
+    else
+      match State.bit_value state (Register.get reg i) with
+      | Some b -> from_msb ((acc lsl 1) lor (if b then 1 else 0)) (i - 1)
+      | None -> None
+  in
+  from_msb 0 (Register.length reg - 1)
+
+let register_value_exn state reg =
+  match register_value state reg with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Sim.register_value_exn: %s is in superposition"
+           (Register.name reg))
+
+let wires_zero state ~except =
+  let marked = Hashtbl.create 64 in
+  List.iter
+    (fun r -> Array.iter (fun q -> Hashtbl.replace marked q ()) (Register.qubits r))
+    except;
+  let n = State.num_qubits state in
+  let rec check q =
+    if q >= n then true
+    else if Hashtbl.mem marked q then check (q + 1)
+    else
+      match State.bit_value state q with
+      | Some false -> check (q + 1)
+      | Some true | None -> false
+  in
+  check 0
+
+let sample_register ?rng ~shots c ~init reg =
+  let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+  let tally = Hashtbl.create 16 in
+  for _ = 1 to shots do
+    let r = run ~rng c ~init in
+    (* sample each register qubit by measuring the final state *)
+    let state = ref r.state in
+    let v = ref 0 in
+    for i = Register.length reg - 1 downto 0 do
+      let q = Register.get reg i in
+      let p1 = State.prob_bit_one !state q in
+      let bit =
+        if p1 <= 1e-12 then false
+        else if p1 >= 1. -. 1e-12 then true
+        else Random.State.float rng 1.0 < p1
+      in
+      state := State.project !state ~qubit:q ~value:bit;
+      v := (!v lsl 1) lor (if bit then 1 else 0)
+    done;
+    Hashtbl.replace tally !v (1 + Option.value (Hashtbl.find_opt tally !v) ~default:0)
+  done;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let unitary_column (c : Circuit.t) j =
+  if not (Circuit.is_unitary c) then
+    invalid_arg "Sim.unitary_column: circuit contains measurements";
+  (run c ~init:(State.basis ~num_qubits:c.Circuit.num_qubits j)).state
+
+let circuits_equal_unitary ?dim_qubits a b =
+  let n =
+    match dim_qubits with
+    | Some n -> n
+    | None -> max a.Circuit.num_qubits b.Circuit.num_qubits
+  in
+  if n > 12 then invalid_arg "Sim.circuits_equal_unitary: too wide";
+  let widen (c : Circuit.t) =
+    Circuit.make ~num_qubits:n ~num_bits:c.Circuit.num_bits c.Circuit.instrs
+  in
+  let a = widen a and b = widen b in
+  (* Columns must match up to a single global phase shared across all
+     columns. Compare the relative phase of each column against column 0 by
+     checking U_a |+...+> against U_b |+...+> as well as each basis state. *)
+  let dim = 1 lsl n in
+  let col_ok = ref true in
+  for j = 0 to dim - 1 do
+    if State.fidelity (unitary_column a j) (unitary_column b j) < 1. -. 1e-9 then
+      col_ok := false
+  done;
+  (* catching relative-phase differences between columns: feed the uniform
+     superposition through both *)
+  let uniform =
+    let amp : Complex.t = { re = 1.0 /. sqrt (float_of_int dim); im = 0.0 } in
+    State.of_alist ~num_qubits:n (List.init dim (fun j -> (j, amp)))
+  in
+  let through (c : Circuit.t) = (run c ~init:uniform).state in
+  !col_ok && State.fidelity (through a) (through b) > 1. -. 1e-9

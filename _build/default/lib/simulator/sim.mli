@@ -1,0 +1,56 @@
+(** Circuit execution.
+
+    Runs an adaptive circuit (gates, measurements, classically controlled
+    blocks) against a {!State.t}, drawing measurement outcomes from an RNG.
+    Besides the final state it reports the classical outcome bits and the
+    gate counts that were {e actually executed} — conditional blocks counted
+    only when taken — which is what the Monte-Carlo validation of the
+    paper's "in expectation" costs averages over. *)
+
+open Mbu_circuit
+
+type run = {
+  state : State.t;
+  bits : bool array;  (** classical bits, indexed by measurement bit id *)
+  executed : Counts.t;  (** gates actually executed in this run *)
+}
+
+val run : ?rng:Random.State.t -> Circuit.t -> init:State.t -> run
+(** [rng] defaults to a fixed-seed generator (deterministic tests). *)
+
+val init_registers : num_qubits:int -> (Register.t * int) list -> State.t
+(** Basis state with each register holding the given unsigned value (LSB
+    first); unlisted wires start at |0>. Raises [Invalid_argument] if a value
+    does not fit its register. *)
+
+val run_builder :
+  ?rng:Random.State.t -> Builder.t -> inits:(Register.t * int) list -> run
+(** Convert the builder to a circuit and run it on a basis initialization. *)
+
+val register_value : State.t -> Register.t -> int option
+(** The register's value if it is definite across the whole superposition. *)
+
+val register_value_exn : State.t -> Register.t -> int
+
+val wires_zero : State.t -> except:Register.t list -> bool
+(** True when every wire outside the given registers is definitely |0> —
+    the "all ancillas correctly uncomputed" check. *)
+
+val sample_register :
+  ?rng:Random.State.t ->
+  shots:int -> Mbu_circuit.Circuit.t -> init:State.t -> Mbu_circuit.Register.t ->
+  (int * int) list
+(** Run the circuit [shots] times and, for each run, sample the register in
+    the computational basis from the final state; returns
+    (value, occurrences) sorted by decreasing count. *)
+
+val unitary_column : Circuit.t -> int -> State.t
+(** [unitary_column c j] is [U |j>] for a measurement-free circuit — column
+    [j] of the circuit unitary. Raises [Invalid_argument] on adaptive
+    circuits. Useful for exact unitary-equality tests on small widths. *)
+
+val circuits_equal_unitary : ?dim_qubits:int -> Circuit.t -> Circuit.t -> bool
+(** Exact unitary equality up to global phase, checked column by column
+    (fidelity 1 on every basis input {e and} matching relative phases via a
+    shared reference column). Only for measurement-free circuits of small
+    width ([dim_qubits] defaults to the wider circuit). *)

@@ -1,0 +1,160 @@
+open Mbu_circuit
+
+type t = { num_qubits : int; amps : (int, Complex.t) Hashtbl.t }
+
+let eps = 1e-12
+let num_qubits s = s.num_qubits
+
+let check_range ~num_qubits idx =
+  if num_qubits < 0 || num_qubits > 62 then invalid_arg "State: qubit count";
+  if idx < 0 || (num_qubits < 62 && idx >= 1 lsl num_qubits) then
+    invalid_arg "State: basis index out of range"
+
+let basis ~num_qubits idx =
+  check_range ~num_qubits idx;
+  let amps = Hashtbl.create 16 in
+  Hashtbl.replace amps idx Complex.one;
+  { num_qubits; amps }
+
+let of_alist ~num_qubits l =
+  let amps = Hashtbl.create (List.length l) in
+  List.iter
+    (fun (idx, a) ->
+      check_range ~num_qubits idx;
+      if Hashtbl.mem amps idx then invalid_arg "State.of_alist: repeated index";
+      Hashtbl.replace amps idx a)
+    l;
+  { num_qubits; amps }
+
+let to_alist s =
+  Hashtbl.fold (fun k v acc -> if Complex.norm v > eps then (k, v) :: acc else acc)
+    s.amps []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let num_terms s = List.length (to_alist s)
+
+let norm2 s = Hashtbl.fold (fun _ v acc -> acc +. Complex.norm2 v) s.amps 0.
+let norm s = sqrt (norm2 s)
+
+let map_amps s f =
+  let amps = Hashtbl.create (Hashtbl.length s.amps) in
+  Hashtbl.iter
+    (fun k v ->
+      let v = f k v in
+      if Complex.norm v > eps then Hashtbl.replace amps k v)
+    s.amps;
+  { s with amps }
+
+let normalize s =
+  let n = norm s in
+  if n = 0. then invalid_arg "State.normalize: zero state";
+  map_amps s (fun _ v -> Complex.div v { re = n; im = 0. })
+
+let bit idx q = (idx lsr q) land 1 = 1
+
+(* Permutation gates: relabel basis indices. *)
+let permute s f =
+  let amps = Hashtbl.create (Hashtbl.length s.amps) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace amps (f k) v) s.amps;
+  { s with amps }
+
+let phase_of p = Complex.polar 1.0 (Phase.to_radians p)
+
+let apply_gate s g =
+  match g with
+  | Gate.X q -> permute s (fun k -> k lxor (1 lsl q))
+  | Gate.Cnot { control; target } ->
+      permute s (fun k -> if bit k control then k lxor (1 lsl target) else k)
+  | Gate.Toffoli { c1; c2; target } ->
+      permute s (fun k ->
+          if bit k c1 && bit k c2 then k lxor (1 lsl target) else k)
+  | Gate.Swap (a, b) ->
+      permute s (fun k ->
+          if bit k a <> bit k b then k lxor (1 lsl a) lxor (1 lsl b) else k)
+  | Gate.Z q -> map_amps s (fun k v -> if bit k q then Complex.neg v else v)
+  | Gate.Cz (a, b) ->
+      map_amps s (fun k v -> if bit k a && bit k b then Complex.neg v else v)
+  | Gate.Phase (q, p) ->
+      let w = phase_of p in
+      map_amps s (fun k v -> if bit k q then Complex.mul w v else v)
+  | Gate.Cphase { control; target; phase } ->
+      let w = phase_of phase in
+      map_amps s (fun k v ->
+          if bit k control && bit k target then Complex.mul w v else v)
+  | Gate.H q ->
+      let r = 1.0 /. sqrt 2.0 in
+      let amps = Hashtbl.create (2 * Hashtbl.length s.amps) in
+      let accum k v =
+        if Complex.norm v > eps then
+          match Hashtbl.find_opt amps k with
+          | Some prev ->
+              let sum = Complex.add prev v in
+              if Complex.norm sum > eps then Hashtbl.replace amps k sum
+              else Hashtbl.remove amps k
+          | None -> Hashtbl.replace amps k v
+      in
+      Hashtbl.iter
+        (fun k v ->
+          let scaled = Complex.mul { re = r; im = 0. } v in
+          if bit k q then begin
+            accum (k lxor (1 lsl q)) scaled;
+            accum k (Complex.neg scaled)
+          end
+          else begin
+            accum k scaled;
+            accum (k lxor (1 lsl q)) scaled
+          end)
+        s.amps;
+      { s with amps }
+
+let prob_bit_one s q =
+  let p =
+    Hashtbl.fold (fun k v acc -> if bit k q then acc +. Complex.norm2 v else acc)
+      s.amps 0.
+  in
+  p /. norm2 s
+
+let project s ~qubit ~value =
+  let amps = Hashtbl.create (Hashtbl.length s.amps) in
+  Hashtbl.iter (fun k v -> if bit k qubit = value then Hashtbl.replace amps k v) s.amps;
+  let s = { s with amps } in
+  if norm s < eps then invalid_arg "State.project: zero-probability outcome";
+  normalize s
+
+let set_bit_zero s ~qubit = permute s (fun k -> k land lnot (1 lsl qubit))
+
+let fidelity a b =
+  if a.num_qubits <> b.num_qubits then invalid_arg "State.fidelity";
+  let na = norm a and nb = norm b in
+  let dot =
+    Hashtbl.fold
+      (fun k va acc ->
+        match Hashtbl.find_opt b.amps k with
+        | Some vb -> Complex.add acc (Complex.mul (Complex.conj va) vb)
+        | None -> acc)
+      a.amps Complex.zero
+  in
+  Complex.norm dot /. (na *. nb)
+
+let classical_value s =
+  match to_alist s with [ (k, _) ] -> Some k | _ -> None
+
+let bit_value s q =
+  match to_alist s with
+  | [] -> None
+  | (k0, _) :: rest ->
+      let v = bit k0 q in
+      if List.for_all (fun (k, _) -> bit k q = v) rest then Some v else None
+
+let pp fmt s =
+  let entries = to_alist s in
+  let bits k =
+    String.init s.num_qubits (fun i ->
+        if bit k (s.num_qubits - 1 - i) then '1' else '0')
+  in
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (k, (v : Complex.t)) ->
+      Format.fprintf fmt "|%s> -> %.4f%+.4fi@," (bits k) v.re v.im)
+    entries;
+  Format.fprintf fmt "@]"

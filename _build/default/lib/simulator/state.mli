@@ -1,0 +1,55 @@
+(** Sparse state vectors.
+
+    A state over [num_qubits] wires (at most 62) is a finite map from basis
+    indices to complex amplitudes; basis index bit [i] is the value of wire
+    [i]. Sparsity is what makes simulating the ripple-carry circuits cheap:
+    a computational-basis input stays a single basis state under X / CNOT /
+    Toffoli, and the measurement-based blocks only ever put one ancilla at a
+    time into superposition. Dense states (QFT circuits) are still exact,
+    just limited to small wire counts. *)
+
+open Mbu_circuit
+
+type t
+
+val num_qubits : t -> int
+
+val basis : num_qubits:int -> int -> t
+(** [basis ~num_qubits idx]: the computational basis state |idx>. *)
+
+val of_alist : num_qubits:int -> (int * Complex.t) list -> t
+(** Not normalized automatically; raises [Invalid_argument] on repeated
+    indices or indices out of range. *)
+
+val to_alist : t -> (int * Complex.t) list
+(** Entries with non-negligible amplitude, sorted by basis index. *)
+
+val num_terms : t -> int
+val norm : t -> float
+val normalize : t -> t
+
+val apply_gate : t -> Gate.t -> t
+
+val prob_bit_one : t -> int -> float
+(** Probability that measuring the given wire yields 1. *)
+
+val project : t -> qubit:int -> value:bool -> t
+(** Project onto the subspace where [qubit] = [value] and renormalize.
+    Raises [Invalid_argument] if the outcome has zero probability. *)
+
+val set_bit_zero : t -> qubit:int -> t
+(** Relabel: clear the given wire in every basis index (used by
+    measure-and-reset after projecting onto 1). The wire must be in a
+    definite value across the support. *)
+
+val fidelity : t -> t -> float
+(** |<a|b>| — 1 for states equal up to global phase. *)
+
+val classical_value : t -> int option
+(** [Some idx] when the state is a single basis vector (up to global phase),
+    [None] otherwise. *)
+
+val bit_value : t -> int -> bool option
+(** The definite value of a wire across the whole support, if any. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Builder Complex List Mbu_circuit Mbu_simulator Printf Random Register Sim State

@@ -1,0 +1,1 @@
+test/test_adder_generic.ml: Adder Alcotest Builder Circuit Counts Helpers List Mbu_circuit Mbu_core Mbu_simulator Printf Register Sim

@@ -1,0 +1,1 @@
+test/test_adders.ml: Adder_cdkpm Adder_draper Adder_gidney Adder_vbe Alcotest Builder Circuit Counts Helpers List Mbu_circuit Mbu_core Mbu_simulator Printf Register

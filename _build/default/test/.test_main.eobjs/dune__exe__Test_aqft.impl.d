@@ -1,0 +1,1 @@
+test/test_aqft.ml: Adder_draper Alcotest Builder Circuit Counts Helpers Mbu_circuit Mbu_core Mbu_simulator Printf Qft Sim State

@@ -1,0 +1,1 @@
+test/test_big_constants.ml: Adder Adder_big Alcotest Bitstring Builder Circuit Counts Helpers List Mbu_bitstring Mbu_circuit Mbu_core Mbu_simulator Mod_add Printf Register Sim

@@ -1,0 +1,1 @@
+test/test_bitstring.ml: Alcotest Bitstring List Mbu_bitstring Printf QCheck QCheck_alcotest

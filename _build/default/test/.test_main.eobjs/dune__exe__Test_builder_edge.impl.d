@@ -1,0 +1,1 @@
+test/test_builder_edge.ml: Alcotest Builder Circuit Mbu_circuit Register

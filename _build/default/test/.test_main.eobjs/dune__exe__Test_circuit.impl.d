@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Builder Circuit Counts Depth Float Gate Instr List Mbu_circuit Phase Printf QCheck QCheck_alcotest

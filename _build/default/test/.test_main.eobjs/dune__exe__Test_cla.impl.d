@@ -1,0 +1,1 @@
+test/test_cla.ml: Adder_cdkpm Adder_cla Alcotest Bitstring Builder Helpers List Mbu_bitstring Mbu_circuit Mbu_core Mbu_simulator Printf Random Register Resources Sim

@@ -1,0 +1,1 @@
+test/test_coset.ml: Adder Alcotest Builder Circuit Complex Coset Counts Helpers List Mbu_circuit Mbu_core Mbu_simulator Mod_add Printf Random Register Sim State

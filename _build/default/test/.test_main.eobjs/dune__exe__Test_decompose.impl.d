@@ -1,0 +1,1 @@
+test/test_decompose.ml: Adder Adder_gidney Alcotest Builder Circuit Counts Decompose Instr List Mbu_circuit Mbu_core Mbu_simulator Phase Printf Random Register Sim State

@@ -1,0 +1,1 @@
+test/test_divider.ml: Adder Adder_cdkpm Alcotest Builder Divider Helpers List Mbu_circuit Mbu_core Mbu_simulator Mod_add Mod_mul Printf Register Sim

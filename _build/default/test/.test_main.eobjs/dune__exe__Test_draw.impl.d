@@ -1,0 +1,1 @@
+test/test_draw.ml: Adder_cdkpm Alcotest Array Builder Draw List Mbu_circuit Mbu_core String

@@ -1,0 +1,1 @@
+test/test_failure_injection.ml: Adder Adder_cdkpm Alcotest Array Builder Complex Helpers List Mbu Mbu_circuit Mbu_core Mbu_simulator Random Register Sim State

@@ -1,0 +1,1 @@
+test/test_ft_estimate.ml: Alcotest Builder Ft_estimate Mbu_circuit Mbu_core Mod_add Printf Resources

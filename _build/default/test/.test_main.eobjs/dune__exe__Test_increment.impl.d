@@ -1,0 +1,1 @@
+test/test_increment.ml: Adder Alcotest Array Builder Circuit Complex Counts Helpers Increment List Mbu_circuit Mbu_core Mbu_simulator Printf Register Sim State

@@ -1,0 +1,1 @@
+test/test_mcx.ml: Alcotest Array Builder Circuit Complex Counts Helpers List Mbu_circuit Mbu_core Mbu_simulator Mcx Printf Register Sim State

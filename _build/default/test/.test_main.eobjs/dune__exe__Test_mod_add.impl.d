@@ -1,0 +1,1 @@
+test/test_mod_add.ml: Adder Adder_cdkpm Alcotest Builder Circuit Complex Counts Helpers List Mbu Mbu_circuit Mbu_core Mbu_simulator Mod_add Printf Random Register Sim State

@@ -1,0 +1,1 @@
+test/test_mod_extras.ml: Adder Alcotest Builder Circuit Counts Helpers List Mbu_circuit Mbu_core Mbu_simulator Mod_add Printf Random Register Sim

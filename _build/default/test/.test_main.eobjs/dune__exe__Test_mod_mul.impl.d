@@ -1,0 +1,1 @@
+test/test_mod_mul.ml: Alcotest Array Builder Circuit Complex Counts Helpers List Mbu_circuit Mbu_core Mbu_simulator Mod_add Mod_mul Printf Register Sim State

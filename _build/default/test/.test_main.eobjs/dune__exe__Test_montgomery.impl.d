@@ -1,0 +1,1 @@
+test/test_montgomery.ml: Adder Alcotest Builder Circuit Counts Helpers Instr List Mbu_circuit Mbu_core Mbu_simulator Mod_add Mod_mul Montgomery Printf Register Sim State

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Adder Alcotest Builder Circuit Counts Gate Instr List Mbu_circuit Mbu_core Mbu_simulator Mod_add Optimize Phase Printf Qft Random Register Sim State

@@ -1,0 +1,1 @@
+test/test_pebble.ml: Alcotest Array Builder Circuit Complex Gate Instr List Mbu_circuit Mbu_core Mbu_simulator Pebble Printf Random Register Sim State

@@ -1,0 +1,1 @@
+test/test_properties.ml: Adder Builder Circuit Counts Depth Instr Mbu_circuit Mbu_core Mbu_simulator Mod_add Phase Printf QCheck QCheck_alcotest Random Register Sim Test_optimize

@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Builder Circuit Gate Instr List Mbu_circuit Mbu_core Mbu_simulator Mod_add Phase Printf Qasm Random Sim State String Test_optimize

@@ -1,0 +1,1 @@
+test/test_qrom.ml: Alcotest Array Builder Circuit Complex Counts Helpers List Mbu_circuit Mbu_core Mbu_simulator Printf Qrom Random Register Sim State

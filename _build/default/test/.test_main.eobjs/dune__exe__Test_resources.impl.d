@@ -1,0 +1,1 @@
+test/test_resources.ml: Adder Alcotest Builder Float Formulas List Mbu Mbu_bitstring Mbu_circuit Mbu_core Mod_add Printf Register Resources

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Builder Circuit Counts Gate Instr List Mbu_circuit Mbu_simulator Phase Random Register Sim State

@@ -1,0 +1,1 @@
+test/test_unitary.ml: Adder_cdkpm Alcotest Builder Decompose List Mbu_circuit Mbu_core Mbu_simulator Optimize Phase Qft Register Sim

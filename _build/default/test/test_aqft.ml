@@ -1,0 +1,107 @@
+(* Approximate QFT and the approximate Draper adder: exactness at full
+   cutoff, bounded error and reduced counts at logarithmic cutoff. *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let rng = Helpers.rng
+
+let test_full_cutoff_is_exact () =
+  (* cutoff >= m: identical gate sequence to the exact QFT *)
+  let m = 5 in
+  let build f =
+    let b = Builder.create () in
+    let r = Builder.fresh_register b "r" m in
+    f b r;
+    Builder.to_circuit b
+  in
+  let exact = build (fun b r -> Qft.apply b r) in
+  let approx = build (fun b r -> Qft.apply_approx b ~cutoff:m r) in
+  Alcotest.(check int) "same gate count" (Circuit.num_gates exact)
+    (Circuit.num_gates approx);
+  (* and adder exactness *)
+  let n = 4 in
+  for x_val = 0 to 15 do
+    let y_val = (x_val * 7 + 2) land 15 in
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    let y = Builder.fresh_register b "y" (n + 1) in
+    Adder_draper.add_approx b ~cutoff:(n + 1) ~x ~y;
+    let r = Sim.run_builder ~rng b ~inits:[ (x, x_val); (y, y_val) ] in
+    Alcotest.(check int)
+      (Printf.sprintf "exact at full cutoff x=%d y=%d" x_val y_val)
+      (x_val + y_val)
+      (Sim.register_value_exn r.Sim.state y)
+  done
+
+let test_truncation_reduces_counts () =
+  let n = 24 in
+  let cphases cutoff =
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    let y = Builder.fresh_register b "y" (n + 1) in
+    Adder_draper.add_approx b ~cutoff ~x ~y;
+    (Circuit.counts ~mode:Counts.Worst (Builder.to_circuit b)).Counts.cphase
+  in
+  let full = cphases (n + 1) and log_cut = cphases 6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "O(n log n) vs O(n^2): %.0f < %.0f / 2" log_cut full)
+    true
+    (log_cut < full /. 2.)
+
+let test_bounded_error () =
+  (* at cutoff ~ log n + 3, the approximate adder output has fidelity close
+     to 1 with the ideal sum state *)
+  let n = 6 in
+  let cutoff = 6 in
+  let worst = ref 1.0 in
+  for trial = 1 to 10 do
+    let x_val = (trial * 11) land ((1 lsl n) - 1) in
+    let y_val = (trial * 23) land ((1 lsl n) - 1) in
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    let y = Builder.fresh_register b "y" (n + 1) in
+    Adder_draper.add_approx b ~cutoff ~x ~y;
+    let r = Sim.run_builder ~rng b ~inits:[ (x, x_val); (y, y_val) ] in
+    let expected =
+      Sim.init_registers
+        ~num_qubits:(State.num_qubits r.Sim.state)
+        [ (x, x_val); (y, x_val + y_val) ]
+    in
+    let f = State.fidelity r.Sim.state expected in
+    if f < !worst then worst := f
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "worst fidelity %.4f > 0.95" !worst)
+    true (!worst > 0.95)
+
+let test_error_grows_as_cutoff_shrinks () =
+  let n = 6 in
+  let fidelity_at cutoff =
+    let x_val = 45 and y_val = 27 in
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    let y = Builder.fresh_register b "y" (n + 1) in
+    Adder_draper.add_approx b ~cutoff ~x ~y;
+    let r = Sim.run_builder ~rng b ~inits:[ (x, x_val); (y, y_val) ] in
+    let expected =
+      Sim.init_registers
+        ~num_qubits:(State.num_qubits r.Sim.state)
+        [ (x, x_val); (y, x_val + y_val) ]
+    in
+    State.fidelity r.Sim.state expected
+  in
+  let f_tight = fidelity_at 2 and f_loose = fidelity_at 6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone-ish: f(2)=%.4f <= f(6)=%.4f" f_tight f_loose)
+    true
+    (f_tight <= f_loose +. 1e-9 && f_loose > 0.95)
+
+let suite =
+  ( "aqft",
+    [ Alcotest.test_case "full cutoff is exact" `Quick test_full_cutoff_is_exact;
+      Alcotest.test_case "truncation reduces counts" `Quick
+        test_truncation_reduces_counts;
+      Alcotest.test_case "bounded error at log cutoff" `Quick test_bounded_error;
+      Alcotest.test_case "error vs cutoff" `Quick test_error_grows_as_cutoff_shrinks ] )

@@ -1,0 +1,156 @@
+(* Arbitrary-width constants: agreement with the int API at small widths,
+   and cryptographic-width resource generation (the regime the int API
+   cannot reach). *)
+
+open Mbu_bitstring
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let rng = Helpers.rng
+let value = Sim.register_value_exn
+
+let test_matches_int_api_semantics () =
+  let n = 3 and p = 7 in
+  let pb = Bitstring.of_int ~width:n p in
+  List.iter
+    (fun mbu ->
+      for x_val = 0 to p - 1 do
+        for y_val = 0 to p - 1 do
+          let b = Builder.create () in
+          let x = Builder.fresh_register b "x" n in
+          let y = Builder.fresh_register b "y" n in
+          Mod_add.modadd_big ~mbu Mod_add.spec_cdkpm b ~p:pb ~x ~y;
+          let r = Sim.run_builder ~rng b ~inits:[ (x, x_val); (y, y_val) ] in
+          Alcotest.(check int)
+            (Printf.sprintf "big modadd mbu=%b x=%d y=%d" mbu x_val y_val)
+            ((x_val + y_val) mod p)
+            (value r.Sim.state y);
+          Alcotest.(check bool) "clean" true
+            (Sim.wires_zero r.Sim.state ~except:[ x; y ])
+        done
+      done)
+    [ false; true ]
+
+let test_matches_int_api_counts () =
+  (* identical circuits gate for gate at a width both APIs support *)
+  let n = 16 in
+  let p = (1 lsl n) - 3 in
+  let build_int () =
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    let y = Builder.fresh_register b "y" n in
+    Mod_add.modadd ~mbu:true Mod_add.spec_cdkpm b ~p ~x ~y;
+    Circuit.counts ~mode:(Counts.Expected 0.5) (Builder.to_circuit b)
+  in
+  let build_big () =
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    let y = Builder.fresh_register b "y" n in
+    Mod_add.modadd_big ~mbu:true Mod_add.spec_cdkpm b
+      ~p:(Bitstring.of_int ~width:n p) ~x ~y;
+    Circuit.counts ~mode:(Counts.Expected 0.5) (Builder.to_circuit b)
+  in
+  Alcotest.(check bool) "same counts" true
+    (Counts.approx_equal (build_int ()) (build_big ()))
+
+let test_constant_modadd_big () =
+  let n = 3 and p = 7 in
+  for a = 0 to p - 1 do
+    for x_val = 0 to p - 1 do
+      let b = Builder.create () in
+      let x = Builder.fresh_register b "x" n in
+      Mod_add.modadd_const_big ~mbu:true Mod_add.spec_cdkpm b
+        ~p:(Bitstring.of_int ~width:n p)
+        ~a:(Bitstring.of_int ~width:n a)
+        ~x;
+      let r = Sim.run_builder ~rng b ~inits:[ (x, x_val) ] in
+      Alcotest.(check int)
+        (Printf.sprintf "a=%d x=%d" a x_val)
+        ((x_val + a) mod p)
+        (value r.Sim.state x)
+    done
+  done
+
+let test_controlled_big () =
+  let n = 3 and p = 5 in
+  for ctrl_val = 0 to 1 do
+    for x_val = 0 to p - 1 do
+      let b = Builder.create () in
+      let c = Builder.fresh_register b "c" 1 in
+      let x = Builder.fresh_register b "x" n in
+      let y = Builder.fresh_register b "y" n in
+      Mod_add.modadd_controlled_big ~mbu:true Mod_add.spec_mixed b
+        ~ctrl:(Register.get c 0)
+        ~p:(Bitstring.of_int ~width:n p)
+        ~x ~y;
+      let r =
+        Sim.run_builder ~rng b ~inits:[ (c, ctrl_val); (x, x_val); (y, 2) ]
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "c=%d x=%d" ctrl_val x_val)
+        ((2 + (ctrl_val * x_val)) mod p)
+        (value r.Sim.state y)
+    done
+  done
+
+(* The point of the whole module: a 2048-bit RSA-style modulus. *)
+let test_rsa_width_resources () =
+  let n = 2048 in
+  (* a dense pseudo-random odd 2048-bit modulus with the top bit set *)
+  let p =
+    Bitstring.init n (fun i ->
+        i = 0 || i = n - 1 || (i * 2654435761) land 0x40000 <> 0)
+  in
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" n in
+  let y = Builder.fresh_register b "y" n in
+  Mod_add.modadd_big ~mbu:true Mod_add.spec_cdkpm b ~p ~x ~y;
+  let c = Circuit.counts ~mode:(Counts.Expected 0.5) (Builder.to_circuit b) in
+  Alcotest.(check (float 0.)) "7n+2 toffoli at n=2048"
+    ((7. *. float_of_int n) +. 2.)
+    c.Counts.toffoli;
+  Alcotest.(check bool) "qubit budget ~3n" true
+    (Builder.num_qubits b < (3 * n) + 16);
+  (* and the MBU delta at this width: exactly n + 1/2 fewer than without *)
+  let b2 = Builder.create () in
+  let x2 = Builder.fresh_register b2 "x" n in
+  let y2 = Builder.fresh_register b2 "y" n in
+  Mod_add.modadd_big ~mbu:false Mod_add.spec_cdkpm b2 ~p ~x:x2 ~y:y2;
+  let c2 = Circuit.counts ~mode:(Counts.Expected 0.5) (Builder.to_circuit b2) in
+  Alcotest.(check (float 0.)) "mbu saves n toffoli at n=2048"
+    (float_of_int n)
+    (c2.Counts.toffoli -. c.Counts.toffoli)
+
+let test_rejects_draper () =
+  let b = Builder.create () in
+  let y = Builder.fresh_register b "y" 5 in
+  Alcotest.check_raises "draper rejected"
+    (Invalid_argument
+       "Adder_big.add_const: Draper constants are capped at 61 bits; use Adder")
+    (fun () ->
+      Adder_big.add_const Adder.Draper b ~a:(Bitstring.of_int ~width:4 3) ~y)
+
+let test_rejects_oversize_constant () =
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" 3 in
+  let t = Builder.fresh_register b "t" 1 in
+  Alcotest.check_raises "constant too wide"
+    (Invalid_argument "Adder_big.load_const: constant does not fit 3 qubits")
+    (fun () ->
+      Adder_big.compare_const Adder.Cdkpm b
+        ~a:(Bitstring.of_int ~width:5 17)
+        ~x ~target:(Register.get t 0))
+
+let suite =
+  ( "big-constants",
+    [ Alcotest.test_case "semantics match int api" `Quick
+        test_matches_int_api_semantics;
+      Alcotest.test_case "counts match int api" `Quick test_matches_int_api_counts;
+      Alcotest.test_case "constant modadd" `Quick test_constant_modadd_big;
+      Alcotest.test_case "controlled modadd" `Quick test_controlled_big;
+      Alcotest.test_case "rsa-width resources (n=2048)" `Quick
+        test_rsa_width_resources;
+      Alcotest.test_case "rejects draper" `Quick test_rejects_draper;
+      Alcotest.test_case "rejects oversize constants" `Quick
+        test_rejects_oversize_constant ] )

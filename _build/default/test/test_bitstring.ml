@@ -1,0 +1,177 @@
+(* Tests for the classical bit-string reference semantics (paper section 1.3
+   and appendix A). *)
+
+open Mbu_bitstring
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Non-negative int generator bounded to a width. *)
+let gen_value width = QCheck.Gen.int_bound ((1 lsl width) - 1)
+
+let arb_pair width =
+  QCheck.make
+    QCheck.Gen.(pair (gen_value width) (gen_value width))
+    ~print:(fun (x, y) -> Printf.sprintf "(%d, %d)" x y)
+
+let test_roundtrip () =
+  for width = 0 to 16 do
+    let v = if width = 0 then 0 else (0x5a5a5a lsr 2) land ((1 lsl width) - 1) in
+    check_int "roundtrip" v Bitstring.(to_int (of_int ~width v))
+  done
+
+let test_string_conv () =
+  let x = Bitstring.of_string "1011" in
+  check_int "of_string msb-first" 11 (Bitstring.to_int x);
+  check_string "to_string" "1011" (Bitstring.to_string x);
+  check_bool "lsb" true (Bitstring.get x 0);
+  check_bool "msb" true (Bitstring.get x 3);
+  check_bool "bit1" true (Bitstring.get x 1);
+  check_bool "bit2" false (Bitstring.get x 2)
+
+let test_maj () =
+  (* equation (5): majority of three bits *)
+  let cases =
+    [ (false, false, false, false); (true, false, false, false);
+      (false, true, false, false); (false, false, true, false);
+      (true, true, false, true); (true, false, true, true);
+      (false, true, true, true); (true, true, true, true) ]
+  in
+  List.iter
+    (fun (a, b, c, expect) -> check_bool "maj" expect (Bitstring.maj a b c))
+    cases
+
+let test_add_small () =
+  (* definition 2.1's running example: n-bit + n-bit = (n+1)-bit *)
+  let add x y width =
+    Bitstring.(to_int (add (of_int ~width x) (of_int ~width y)))
+  in
+  check_int "3+5" 8 (add 3 5 4);
+  check_int "15+15 overflow" 30 (add 15 15 4);
+  check_int "0+0" 0 (add 0 0 4);
+  check_int "1+1 width1" 2 (add 1 1 1)
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"add matches integer addition (def 1.2)" ~count:500
+    (arb_pair 16) (fun (x, y) ->
+      let width = 16 in
+      Bitstring.(to_int (add (of_int ~width x) (of_int ~width y))) = x + y)
+
+let prop_sub_msb_is_lt =
+  QCheck.Test.make ~name:"sub MSB = [x<y] (prop A.3)" ~count:500 (arb_pair 14)
+    (fun (x, y) ->
+      let width = 14 in
+      let d = Bitstring.(sub (of_int ~width x) (of_int ~width y)) in
+      Bitstring.msb d = (x < y))
+
+let prop_sub_is_signed_difference =
+  QCheck.Test.make ~name:"sub = 2's-complement difference (prop A.5)"
+    ~count:500 (arb_pair 14) (fun (x, y) ->
+      let width = 14 in
+      let d = Bitstring.(sub (of_int ~width x) (of_int ~width y)) in
+      Bitstring.to_signed_int d = x - y)
+
+let prop_twos_complement_negates =
+  QCheck.Test.make ~name:"x + 2's-complement(x) = 0 mod 2^n (prop A.1 basis)"
+    ~count:300
+    (QCheck.make (gen_value 12) ~print:string_of_int)
+    (fun x ->
+      let width = 12 in
+      let bx = Bitstring.of_int ~width x in
+      let s = Bitstring.(add bx (twos_complement bx)) in
+      Bitstring.to_int s mod (1 lsl width) = 0)
+
+let prop_ones_complement_sum =
+  QCheck.Test.make ~name:"x + ~x = 2^n - 1 (remark A.2)" ~count:300
+    (QCheck.make (gen_value 12) ~print:string_of_int)
+    (fun x ->
+      let width = 12 in
+      let bx = Bitstring.of_int ~width x in
+      Bitstring.(to_int (add bx (ones_complement bx))) = (1 lsl width) - 1)
+
+let prop_carries_definition =
+  QCheck.Test.make ~name:"carry recursion c_{i+1} = maj(x_i,y_i,c_i)"
+    ~count:300 (arb_pair 10) (fun (x, y) ->
+      let width = 10 in
+      let bx = Bitstring.of_int ~width x and by = Bitstring.of_int ~width y in
+      let c = Bitstring.carries bx by in
+      let ok = ref (not (Bitstring.get c 0)) in
+      for i = 0 to width - 1 do
+        let expect =
+          Bitstring.maj (Bitstring.get bx i) (Bitstring.get by i)
+            (Bitstring.get c i)
+        in
+        if Bitstring.get c (i + 1) <> expect then ok := false
+      done;
+      !ok)
+
+let prop_signed_roundtrip =
+  QCheck.Test.make ~name:"signed encode/decode roundtrip (remark A.4)"
+    ~count:300
+    (QCheck.make QCheck.Gen.(int_range (-2048) 2047) ~print:string_of_int)
+    (fun v ->
+      Bitstring.(to_signed_int (of_signed_int ~width:12 v)) = v)
+
+let prop_signed_addition =
+  QCheck.Test.make ~name:"signed addition via strings (prop A.6)" ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair (int_range (-500) 500) (int_range (-500) 500))
+       ~print:(fun (a, b) -> Printf.sprintf "(%d, %d)" a b))
+    (fun (a, b) ->
+      (* 2's-complement addition is exact modulo 2^width: the carry-out of
+         the string addition is discarded (prop A.6 with truncation). *)
+      let width = 11 in
+      let ba = Bitstring.of_signed_int ~width a
+      and bb = Bitstring.of_signed_int ~width b in
+      Bitstring.(to_signed_int (truncate (add ba bb) width)) = a + b)
+
+let prop_lt_matches =
+  QCheck.Test.make ~name:"lt matches unsigned comparison" ~count:300
+    (arb_pair 16) (fun (x, y) ->
+      let width = 16 in
+      Bitstring.(lt (of_int ~width x) (of_int ~width y)) = (x < y))
+
+let test_hamming () =
+  check_int "|0|" 0 (Bitstring.hamming_weight_int 0);
+  check_int "|7|" 3 (Bitstring.hamming_weight_int 7);
+  check_int "|255|" 8 (Bitstring.hamming_weight_int 255);
+  check_int "|2^20|" 1 (Bitstring.hamming_weight_int (1 lsl 20));
+  check_int "weight of string" 3
+    (Bitstring.hamming_weight (Bitstring.of_string "0111"))
+
+let test_pad_truncate () =
+  let x = Bitstring.of_int ~width:4 11 in
+  check_int "pad preserves value" 11 Bitstring.(to_int (pad x 8));
+  check_int "pad length" 8 Bitstring.(length (pad x 8));
+  check_int "truncate" 3 Bitstring.(to_int (truncate x 2));
+  Alcotest.check_raises "pad shrink rejected"
+    (Invalid_argument "Bitstring.pad") (fun () -> ignore (Bitstring.pad x 2))
+
+let test_bounds () =
+  let x = Bitstring.of_int ~width:4 5 in
+  Alcotest.check_raises "get oob" (Invalid_argument "Bitstring.get")
+    (fun () -> ignore (Bitstring.get x 4));
+  Alcotest.check_raises "of_int negative" (Invalid_argument "Bitstring.of_int")
+    (fun () -> ignore (Bitstring.of_int ~width:4 (-1)))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "bitstring",
+    [ Alcotest.test_case "int roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "string conversion" `Quick test_string_conv;
+      Alcotest.test_case "majority truth table" `Quick test_maj;
+      Alcotest.test_case "small additions" `Quick test_add_small;
+      Alcotest.test_case "hamming weight" `Quick test_hamming;
+      Alcotest.test_case "pad and truncate" `Quick test_pad_truncate;
+      Alcotest.test_case "bounds checks" `Quick test_bounds;
+      qtest prop_add_matches_int;
+      qtest prop_sub_msb_is_lt;
+      qtest prop_sub_is_signed_difference;
+      qtest prop_twos_complement_negates;
+      qtest prop_ones_complement_sum;
+      qtest prop_carries_definition;
+      qtest prop_signed_roundtrip;
+      qtest prop_signed_addition;
+      qtest prop_lt_matches ] )

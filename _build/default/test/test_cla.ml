@@ -1,0 +1,144 @@
+(* Carry-lookahead adder [Dra+04]: prefix-tree carries against the
+   classical carry recursion, full-adder correctness, logarithmic Toffoli
+   depth. *)
+
+open Mbu_bitstring
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let rng = Helpers.rng
+
+(* compute_carries alone: for every (x, y) pair the g array must end up
+   holding c_1 .. c_n of definition 1.2. *)
+let test_prefix_carries_exhaustive () =
+  List.iter
+    (fun n ->
+      let step = max 1 ((1 lsl n) / 8) in
+      let v = ref 0 in
+      while !v < 1 lsl (2 * n) do
+        let x_val = !v land ((1 lsl n) - 1) in
+        let y_val = !v lsr n in
+        let b = Builder.create () in
+        let x = Builder.fresh_register b "x" n in
+        let y = Builder.fresh_register b "y" n in
+        let g = Builder.fresh_register b "g" n in
+        (* prepare p and g, then run the tree *)
+        for i = 0 to n - 1 do
+          Builder.toffoli b ~c1:(Register.get x i) ~c2:(Register.get y i)
+            ~target:(Register.get g i);
+          Builder.cnot b ~control:(Register.get x i) ~target:(Register.get y i)
+        done;
+        Adder_cla.compute_carries b ~p:(Register.qubits y) ~g:(Register.qubits g);
+        let r = Sim.run_builder ~rng b ~inits:[ (x, x_val); (y, y_val) ] in
+        let carries =
+          Bitstring.carries (Bitstring.of_int ~width:n x_val)
+            (Bitstring.of_int ~width:n y_val)
+        in
+        let expect = ref 0 in
+        for i = 0 to n - 1 do
+          if Bitstring.get carries (i + 1) then expect := !expect lor (1 lsl i)
+        done;
+        Alcotest.(check int)
+          (Printf.sprintf "carries n=%d x=%d y=%d" n x_val y_val)
+          !expect
+          (Sim.register_value_exn r.Sim.state g);
+        v := !v + step
+      done)
+    [ 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_carries_roundtrip () =
+  (* uncompute_carries inverts compute_carries *)
+  let n = 6 in
+  for trial = 1 to 20 do
+    let x_val = Random.State.int Helpers.rng (1 lsl n) in
+    let g_val = Random.State.int Helpers.rng (1 lsl n) in
+    let b = Builder.create () in
+    let p = Builder.fresh_register b "p" n in
+    let g = Builder.fresh_register b "g" n in
+    Adder_cla.compute_carries b ~p:(Register.qubits p) ~g:(Register.qubits g);
+    Adder_cla.uncompute_carries b ~p:(Register.qubits p) ~g:(Register.qubits g);
+    let r = Sim.run_builder ~rng b ~inits:[ (p, x_val); (g, g_val) ] in
+    Alcotest.(check int)
+      (Printf.sprintf "roundtrip trial %d" trial)
+      g_val
+      (Sim.register_value_exn r.Sim.state g)
+  done
+
+let test_cla_adder_exhaustive () =
+  List.iter
+    (fun mbu ->
+      List.iter
+        (fun n ->
+          Helpers.check_adder_exhaustive ~reps:(if mbu then 2 else 1)
+            ~name:(Printf.sprintf "cla%s" (if mbu then "+mbu" else ""))
+            (fun b ~x ~y -> Adder_cla.add ~mbu b ~x ~y)
+            n)
+        [ 1; 2; 3 ])
+    [ false; true ]
+
+let test_cla_adder_wide_random () =
+  Helpers.check_adder_random ~reps:2 ~cases:25 ~name:"cla-wide"
+    (fun b ~x ~y -> Adder_cla.add b ~x ~y)
+    11
+
+let test_cla_superposition () =
+  Helpers.check_adder_superposition ~name:"cla" (fun b ~x ~y -> Adder_cla.add b ~x ~y) 3 4
+
+let test_logarithmic_toffoli_depth () =
+  let depth_of build n =
+    let r =
+      Resources.measure ~n
+        ~build:(fun b ->
+          let x = Builder.fresh_register b "x" n in
+          let y = Builder.fresh_register b "y" (n + 1) in
+          build b ~x ~y)
+        ()
+    in
+    (r.Resources.toffoli_depth, r.Resources.toffoli)
+  in
+  let cla_d = fst (depth_of (fun b ~x ~y -> Adder_cla.add ~mbu:false b ~x ~y) 64) in
+  let ripple_d = fst (depth_of (fun b ~x ~y -> Adder_cdkpm.add b ~x ~y) 64) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cla depth %.0f << ripple depth %.0f" cla_d ripple_d)
+    true
+    (cla_d < ripple_d /. 3.);
+  (* depth must scale ~logarithmically: doubling n adds O(1) levels *)
+  let d32 = fst (depth_of (fun b ~x ~y -> Adder_cla.add ~mbu:false b ~x ~y) 32) in
+  let d64 = cla_d in
+  Alcotest.(check bool)
+    (Printf.sprintf "log growth: d64 %.0f - d32 %.0f <= 8" d64 d32)
+    true
+    (d64 -. d32 <= 8.);
+  (* count trade: cla uses more toffoli than cdkpm *)
+  let _, cla_count = depth_of (fun b ~x ~y -> Adder_cla.add ~mbu:false b ~x ~y) 64 in
+  let _, cdkpm_count = depth_of (fun b ~x ~y -> Adder_cdkpm.add b ~x ~y) 64 in
+  Alcotest.(check bool) "depth costs count" true (cla_count > cdkpm_count)
+
+let test_mbu_reduces_cla_count () =
+  let n = 32 in
+  let tof mbu =
+    (Resources.measure ~n
+       ~build:(fun b ->
+         let x = Builder.fresh_register b "x" n in
+         let y = Builder.fresh_register b "y" (n + 1) in
+         Adder_cla.add ~mbu b ~x ~y)
+       ())
+      .Resources.toffoli
+  in
+  let plain = tof false and mbu = tof true in
+  Alcotest.(check bool)
+    (Printf.sprintf "mbu %.1f < plain %.1f" mbu plain)
+    true (mbu < plain)
+
+let suite =
+  ( "carry-lookahead",
+    [ Alcotest.test_case "prefix carries vs def 1.2" `Quick
+        test_prefix_carries_exhaustive;
+      Alcotest.test_case "carries roundtrip" `Quick test_carries_roundtrip;
+      Alcotest.test_case "adder exhaustive" `Quick test_cla_adder_exhaustive;
+      Alcotest.test_case "adder wide random" `Quick test_cla_adder_wide_random;
+      Alcotest.test_case "superposition" `Quick test_cla_superposition;
+      Alcotest.test_case "logarithmic toffoli depth" `Quick
+        test_logarithmic_toffoli_depth;
+      Alcotest.test_case "mbu reduces count" `Quick test_mbu_reduces_cla_count ] )

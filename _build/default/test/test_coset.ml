@@ -1,0 +1,141 @@
+(* Coset-state encoding: exact preparation (MBU phase fixes included),
+   comparator-free modular addition in the encoding, and the documented
+   O(2^-k) truncation error. *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let rng = Helpers.rng
+
+let coset_indices reg ~x ~p ~pad =
+  List.init (1 lsl pad) (fun c ->
+      let v = x + (c * p) in
+      let idx = ref 0 in
+      for i = 0 to Register.length reg - 1 do
+        if (v lsr i) land 1 = 1 then idx := !idx lor (1 lsl Register.get reg i)
+      done;
+      !idx)
+
+let expected_coset ~num_qubits reg ~x ~p ~pad =
+  let amp : Complex.t =
+    { re = 1.0 /. sqrt (float_of_int (1 lsl pad)); im = 0.0 }
+  in
+  State.of_alist ~num_qubits
+    (List.map (fun i -> (i, amp)) (coset_indices reg ~x ~p ~pad))
+
+let test_prepare_exact () =
+  List.iter
+    (fun (n, pad, p) ->
+      for x = 0 to p - 1 do
+        for trial = 1 to 3 do
+          let b = Builder.create () in
+          let reg = Builder.fresh_register b "v" (n + pad) in
+          Coset.prepare Adder.Cdkpm b ~p ~pad reg;
+          let r =
+            Sim.run
+              ~rng:(Random.State.make [| x; trial |])
+              (Builder.to_circuit b)
+              ~init:(Sim.init_registers ~num_qubits:(Builder.num_qubits b) [ (reg, x) ])
+          in
+          let f =
+            State.fidelity r.Sim.state
+              (expected_coset ~num_qubits:(State.num_qubits r.Sim.state) reg ~x
+                 ~p ~pad)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "coset n=%d pad=%d p=%d x=%d trial=%d f=%.6f" n pad
+               p x trial f)
+            true
+            (f > 1. -. 1e-9);
+          Alcotest.(check bool) "ancillas clean" true
+            (Sim.wires_zero r.Sim.state ~except:[ reg ])
+        done
+      done)
+    [ (3, 2, 7); (3, 3, 5); (2, 2, 3) ]
+
+let test_encoded_addition_residue () =
+  (* one plain addition implements the modular addition up to the
+     truncation branch: every surviving basis value has the right residue,
+     and the lost weight is at most ~2^-pad *)
+  let n = 3 and pad = 3 and p = 7 in
+  for x = 0 to p - 1 do
+    List.iter
+      (fun a ->
+        let b = Builder.create () in
+        let reg = Builder.fresh_register b "v" (n + pad) in
+        Coset.prepare Adder.Cdkpm b ~p ~pad reg;
+        Coset.add_const Adder.Cdkpm b ~a reg;
+        let r =
+          Sim.run
+            ~rng:(Random.State.make [| x; a |])
+            (Builder.to_circuit b)
+            ~init:(Sim.init_registers ~num_qubits:(Builder.num_qubits b) [ (reg, x) ])
+        in
+        let good_weight = ref 0. and bad_weight = ref 0. in
+        List.iter
+          (fun (idx, (amp : Complex.t)) ->
+            let v = ref 0 in
+            for i = Register.length reg - 1 downto 0 do
+              v := (!v lsl 1) lor ((idx lsr Register.get reg i) land 1)
+            done;
+            let w = (amp.re *. amp.re) +. (amp.im *. amp.im) in
+            if Coset.decode ~value:!v ~p = (x + a) mod p then
+              good_weight := !good_weight +. w
+            else bad_weight := !bad_weight +. w)
+          (State.to_alist r.Sim.state);
+        Alcotest.(check bool)
+          (Printf.sprintf "x=%d a=%d good=%.4f" x a !good_weight)
+          true
+          (!good_weight > 1. -. (2. /. float_of_int (1 lsl pad))
+          && !bad_weight < 2. /. float_of_int (1 lsl pad)))
+      [ 1; 3; 6 ]
+  done
+
+let test_mbu_economics () =
+  (* each padding step costs, in expectation, half a comparator pair; the
+     worst case costs a full one. *)
+  let n = 6 and pad = 4 and p = 61 in
+  let counts mode =
+    let b = Builder.create () in
+    let reg = Builder.fresh_register b "v" (n + pad) in
+    Coset.prepare Adder.Cdkpm b ~p ~pad reg;
+    Circuit.counts ~mode (Builder.to_circuit b)
+  in
+  let worst = counts Counts.Worst and expected = counts (Counts.Expected 0.5) in
+  Alcotest.(check bool) "expected toffoli is half of worst fix cost" true
+    (expected.Counts.toffoli < worst.Counts.toffoli
+    && expected.Counts.toffoli > 0.4 *. worst.Counts.toffoli);
+  Alcotest.(check (float 0.)) "one measurement per pad bit"
+    (float_of_int pad) worst.Counts.measure
+
+let test_cheaper_than_modadd () =
+  (* the Zalka payoff: in the encoding a modular addition is one plain
+     addition — compare Toffoli against the full constant modular adder *)
+  let n = 12 and pad = 4 in
+  let p = (1 lsl n) - 3 in
+  let encoded =
+    let b = Builder.create () in
+    let reg = Builder.fresh_register b "v" (n + pad) in
+    Coset.add_const Adder.Cdkpm b ~a:(p / 3) reg;
+    (Circuit.counts ~mode:(Counts.Expected 0.5) (Builder.to_circuit b)).Counts.toffoli
+  in
+  let direct =
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    Mod_add.modadd_const ~mbu:true Mod_add.spec_cdkpm b ~p ~a:(p / 3) ~x;
+    (Circuit.counts ~mode:(Counts.Expected 0.5) (Builder.to_circuit b)).Counts.toffoli
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "encoded %.0f < direct %.0f / 2" encoded direct)
+    true
+    (encoded < direct /. 2.)
+
+let suite =
+  ( "coset",
+    [ Alcotest.test_case "exact preparation (Gid19a MBU)" `Quick test_prepare_exact;
+      Alcotest.test_case "encoded modular addition" `Quick
+        test_encoded_addition_residue;
+      Alcotest.test_case "bernoulli fix economics" `Quick test_mbu_economics;
+      Alcotest.test_case "cheaper than direct modadd" `Quick
+        test_cheaper_than_modadd ] )

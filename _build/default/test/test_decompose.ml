@@ -1,0 +1,159 @@
+(* Clifford+T decompositions: exact unitary equivalence checks on random
+   states, and the Tof-vs-T accounting behind "halving the cost of quantum
+   addition" (figure 10). *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let rng = Random.State.make [| 0x7e57; 0xdec0 |]
+
+let test_toffoli_7t_equivalence () =
+  for trial = 1 to 25 do
+    let prefix_len = Random.State.int rng 10 in
+    let seed = Random.State.int rng 100000 in
+    let build use_decomposed =
+      let b = Builder.create () in
+      let r = Builder.fresh_register b "r" 3 in
+      let saved = Random.State.make [| seed |] in
+      let q () = Register.get r (Random.State.int saved 3) in
+      for _ = 1 to prefix_len do
+        match Random.State.int saved 4 with
+        | 0 -> Builder.h b (q ())
+        | 1 -> Builder.phase b (q ()) (Phase.theta (1 + Random.State.int saved 3))
+        | 2 ->
+            let a = q () in
+            let rec other () = let c = q () in if c = a then other () else c in
+            Builder.cnot b ~control:a ~target:(other ())
+        | _ -> Builder.x b (q ())
+      done;
+      if use_decomposed then
+        List.iter (Builder.gate b)
+          (Decompose.toffoli_7t ~c1:(Register.get r 0) ~c2:(Register.get r 1)
+             ~target:(Register.get r 2))
+      else
+        Builder.toffoli b ~c1:(Register.get r 0) ~c2:(Register.get r 1)
+          ~target:(Register.get r 2);
+      (Sim.run_builder b ~inits:[]).Sim.state
+    in
+    let f = State.fidelity (build false) (build true) in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d fidelity %.6f" trial f)
+      true
+      (f > 1. -. 1e-9)
+  done
+
+let test_and_4t_matches_toffoli () =
+  (* on a fresh |0> target, figure 10 must agree with the plain Toffoli for
+     every superposition of the controls *)
+  for trial = 1 to 20 do
+    let seed = Random.State.int rng 100000 in
+    let build use_4t =
+      let b = Builder.create () in
+      let ab = Builder.fresh_register b "ab" 2 in
+      let t = Builder.fresh_register b "t" 1 in
+      let saved = Random.State.make [| seed |] in
+      for _ = 1 to 6 do
+        let q = Register.get ab (Random.State.int saved 2) in
+        match Random.State.int saved 3 with
+        | 0 -> Builder.h b q
+        | 1 -> Builder.phase b q (Phase.theta 2)
+        | _ -> Builder.x b q
+      done;
+      let c1 = Register.get ab 0 and c2 = Register.get ab 1 in
+      let target = Register.get t 0 in
+      if use_4t then List.iter (Builder.gate b) (Decompose.and_4t ~c1 ~c2 ~target)
+      else Builder.toffoli b ~c1 ~c2 ~target;
+      (Sim.run_builder b ~inits:[]).Sim.state
+    in
+    let f = State.fidelity (build false) (build true) in
+    Alcotest.(check bool)
+      (Printf.sprintf "and trial %d fidelity %.6f" trial f)
+      true
+      (f > 1. -. 1e-9)
+  done
+
+let test_and_4t_uses_4_t () =
+  let gates = Decompose.and_4t ~c1:0 ~c2:1 ~target:2 in
+  let instrs = List.map (fun g -> Instr.Gate g) gates in
+  Alcotest.(check (float 0.)) "4 T" 4. (Decompose.t_count ~mode:Counts.Worst instrs);
+  let tof = List.map (fun g -> Instr.Gate g) (Decompose.toffoli_7t ~c1:0 ~c2:1 ~target:2) in
+  Alcotest.(check (float 0.)) "7 T" 7. (Decompose.t_count ~mode:Counts.Worst tof)
+
+let test_decomposed_adder_still_adds () =
+  let n = 3 in
+  List.iter
+    (fun style ->
+      let b = Builder.create () in
+      let x = Builder.fresh_register b "x" n in
+      let y = Builder.fresh_register b "y" (n + 1) in
+      Adder.add style b ~x ~y;
+      let c = Decompose.circuit (Builder.to_circuit b) in
+      for x_val = 0 to 7 do
+        let y_val = (x_val * 3 + 1) land 7 in
+        let init =
+          Sim.init_registers ~num_qubits:c.Circuit.num_qubits
+            [ (x, x_val); (y, y_val) ]
+        in
+        let r = Sim.run ~rng:(Random.State.make [| 7 |]) c ~init in
+        Alcotest.(check int)
+          (Printf.sprintf "%s x=%d y=%d" (Adder.style_name style) x_val y_val)
+          (x_val + y_val)
+          (Sim.register_value_exn r.Sim.state y)
+      done)
+    [ Adder.Cdkpm; Adder.Gidney ]
+
+let test_halving_t_cost () =
+  (* Gidney 2018's headline in T counts: an n-bit addition costs 4n T with
+     the logical-AND adder vs 14n with the CDKPM adder under the 7-T
+     Toffoli. Gidney's ANDs all target fresh |0> ancillas, so the 4-T
+     rewrite is valid for his adder. *)
+  let n = 16 in
+  let t_of style ~fresh =
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    let y = Builder.fresh_register b "y" (n + 1) in
+    Adder.add style b ~x ~y;
+    let c = Decompose.circuit ~fresh_target_and:fresh (Builder.to_circuit b) in
+    Decompose.t_count ~mode:(Counts.Expected 0.5) c.Circuit.instrs
+  in
+  let cdkpm = t_of Adder.Cdkpm ~fresh:false in
+  let gidney = t_of Adder.Gidney ~fresh:true in
+  Alcotest.(check (float 0.)) "cdkpm 14n" (14. *. float_of_int n) cdkpm;
+  Alcotest.(check (float 0.)) "gidney 4n" (4. *. float_of_int n) gidney
+
+let test_fresh_and_rewrite_correct_for_gidney () =
+  (* the 4-T rewrite is only claimed valid when every Toffoli is an AND onto
+     |0>; the Gidney adder satisfies that — verify end to end, but note the
+     adder's dirty-top-qubit block also uses a Toffoli onto y_n which is |0>
+     per definition 2.1 *)
+  let n = 3 in
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" n in
+  let y = Builder.fresh_register b "y" (n + 1) in
+  Adder_gidney.add b ~x ~y;
+  let c = Decompose.circuit ~fresh_target_and:true (Builder.to_circuit b) in
+  for x_val = 0 to 7 do
+    for y_val = 0 to 7 do
+      let init =
+        Sim.init_registers ~num_qubits:c.Circuit.num_qubits
+          [ (x, x_val); (y, y_val) ]
+      in
+      let r = Sim.run ~rng:(Random.State.make [| x_val + (8 * y_val) |]) c ~init in
+      Alcotest.(check int)
+        (Printf.sprintf "4t-gidney x=%d y=%d" x_val y_val)
+        (x_val + y_val)
+        (Sim.register_value_exn r.Sim.state y)
+    done
+  done
+
+let suite =
+  ( "decompose",
+    [ Alcotest.test_case "7-T toffoli equivalence" `Quick test_toffoli_7t_equivalence;
+      Alcotest.test_case "4-T AND (figure 10)" `Quick test_and_4t_matches_toffoli;
+      Alcotest.test_case "t counts per gate" `Quick test_and_4t_uses_4_t;
+      Alcotest.test_case "decomposed adders still add" `Quick
+        test_decomposed_adder_still_adds;
+      Alcotest.test_case "halving the T cost of addition" `Quick test_halving_t_cost;
+      Alcotest.test_case "4-T rewrite valid for gidney adder" `Quick
+        test_fresh_and_rewrite_correct_for_gidney ] )

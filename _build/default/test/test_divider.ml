@@ -1,0 +1,127 @@
+(* Restoring division by a constant, plus the new squaring / windowed
+   exponentiation / doubly-controlled constant adder constructions. *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let rng = Helpers.rng
+let value = Sim.register_value_exn
+
+let test_divmod_exhaustive () =
+  let n = 5 and k = 3 in
+  List.iter
+    (fun style ->
+      List.iter
+        (fun d ->
+          if d lsl (k - 1) < 1 lsl n then
+            for x_val = 0 to (1 lsl n) - 1 do
+              if x_val / d < 1 lsl k then begin
+                let b = Builder.create () in
+                let x = Builder.fresh_register b "x" n in
+                let q = Builder.fresh_register b "q" k in
+                Divider.divmod_const style b ~d ~x ~quotient:q;
+                let r = Sim.run_builder ~rng b ~inits:[ (x, x_val); (q, 0) ] in
+                let msg =
+                  Printf.sprintf "%s d=%d x=%d" (Adder.style_name style) d x_val
+                in
+                Alcotest.(check int) (msg ^ " rem") (x_val mod d) (value r.Sim.state x);
+                Alcotest.(check int) (msg ^ " quot") (x_val / d) (value r.Sim.state q);
+                Alcotest.(check bool) (msg ^ " clean") true
+                  (Sim.wires_zero r.Sim.state ~except:[ x; q ])
+              end
+            done)
+        [ 1; 3; 5; 7 ])
+    [ Adder.Cdkpm; Adder.Gidney ]
+
+let test_divmod_rejects_bad_shapes () =
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" 4 in
+  let q = Builder.fresh_register b "q" 4 in
+  Alcotest.check_raises "subtrahend overflow"
+    (Invalid_argument "Divider.divmod_const: d.2^(k-1) must fit the dividend")
+    (fun () -> Divider.divmod_const Adder.Cdkpm b ~d:3 ~x ~quotient:q)
+
+let test_square_register () =
+  let n = 3 and p = 7 in
+  let engine = Mod_mul.ripple_engine ~mbu:true Mod_add.spec_cdkpm in
+  for x_val = 0 to p - 1 do
+    for t_val = 0 to p - 1 do
+      let b = Builder.create () in
+      let x = Builder.fresh_register b "x" n in
+      let t = Builder.fresh_register b "t" n in
+      Mod_mul.square_register engine b ~x ~p ~target:t;
+      let r = Sim.run_builder ~rng b ~inits:[ (x, x_val); (t, t_val) ] in
+      let msg = Printf.sprintf "x=%d t=%d" x_val t_val in
+      Alcotest.(check int) msg
+        ((t_val + (x_val * x_val)) mod p)
+        (value r.Sim.state t);
+      Alcotest.(check int) (msg ^ " x kept") x_val (value r.Sim.state x);
+      Alcotest.(check bool) (msg ^ " clean") true
+        (Sim.wires_zero r.Sim.state ~except:[ x; t ])
+    done
+  done
+
+let test_modexp_windowed () =
+  let n = 3 and p = 7 and a = 3 in
+  for e_val = 0 to 3 do
+    for x_val = 1 to p - 1 do
+      let b = Builder.create () in
+      let e = Builder.fresh_register b "e" 2 in
+      let x = Builder.fresh_register b "x" n in
+      Mod_mul.modexp_windowed ~window:2 Mod_add.spec_cdkpm b ~a ~p ~e ~x;
+      let r = Sim.run_builder ~rng b ~inits:[ (e, e_val); (x, x_val) ] in
+      let rec pow acc k = if k = 0 then acc else pow (acc * a mod p) (k - 1) in
+      let msg = Printf.sprintf "e=%d x=%d" e_val x_val in
+      Alcotest.(check int) msg (pow x_val e_val) (value r.Sim.state x);
+      Alcotest.(check bool) (msg ^ " clean") true
+        (Sim.wires_zero r.Sim.state ~except:[ e; x ])
+    done
+  done
+
+let test_fig23_double_controlled () =
+  let n = 3 and p = 7 in
+  for c1v = 0 to 1 do
+    for c2v = 0 to 1 do
+      for a = 0 to p - 1 do
+        let x_val = (a * 2 + 1) mod p in
+        let b = Builder.create () in
+        let c1 = Builder.fresh_register b "c1" 1 in
+        let c2 = Builder.fresh_register b "c2" 1 in
+        let x = Builder.fresh_register b "x" n in
+        Mod_add.modadd_const_double_controlled_draper ~mbu:true b
+          ~ctrl1:(Register.get c1 0) ~ctrl2:(Register.get c2 0) ~p ~a ~x;
+        let r =
+          Sim.run_builder ~rng b ~inits:[ (c1, c1v); (c2, c2v); (x, x_val) ]
+        in
+        let msg = Printf.sprintf "c1=%d c2=%d a=%d x=%d" c1v c2v a x_val in
+        Alcotest.(check int) msg
+          ((x_val + (c1v * c2v * a)) mod p)
+          (value r.Sim.state x);
+        Alcotest.(check bool) (msg ^ " clean") true
+          (Sim.wires_zero r.Sim.state ~except:[ c1; c2; x ])
+      done
+    done
+  done
+
+let test_add_3cnot_variant () =
+  List.iter
+    (fun n ->
+      Helpers.check_adder_exhaustive ~name:"cdkpm-3cnot"
+        (fun b ~x ~y -> Adder_cdkpm.add_3cnot b ~x ~y)
+        n)
+    [ 1; 2; 3 ];
+  Helpers.check_adder_superposition ~name:"cdkpm-3cnot"
+    (fun b ~x ~y -> Adder_cdkpm.add_3cnot b ~x ~y)
+    3 5
+
+let suite =
+  ( "divider-extras",
+    [ Alcotest.test_case "divmod exhaustive" `Quick test_divmod_exhaustive;
+      Alcotest.test_case "divmod rejects bad shapes" `Quick
+        test_divmod_rejects_bad_shapes;
+      Alcotest.test_case "modular squaring" `Quick test_square_register;
+      Alcotest.test_case "windowed modexp" `Quick test_modexp_windowed;
+      Alcotest.test_case "fig 23 doubly controlled" `Quick
+        test_fig23_double_controlled;
+      Alcotest.test_case "3-cnot UMA adder" `Quick test_add_3cnot_variant ] )

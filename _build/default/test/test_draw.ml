@@ -1,0 +1,79 @@
+(* ASCII circuit rendering: structural checks on small circuits. *)
+
+open Mbu_circuit
+open Mbu_core
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_row_per_wire () =
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" 2 in
+  let y = Builder.fresh_register b "y" 3 in
+  Adder_cdkpm.add b ~x ~y;
+  let rendered = Draw.render_registers [ x; y ] (Builder.to_circuit b) in
+  let ls = lines rendered in
+  (* header + one row per wire (5 register wires + 1 ancilla) *)
+  Alcotest.(check int) "rows" 7 (List.length ls);
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) ("has row " ^ label) true
+        (List.exists (fun l -> contains ~needle:(label ^ ":") l) ls))
+    [ "x0"; "x1"; "y0"; "y1"; "y2"; "a5" ]
+
+let test_gate_glyphs () =
+  let b = Builder.create () in
+  let q0 = Builder.fresh_qubit b and q1 = Builder.fresh_qubit b in
+  let q2 = Builder.fresh_qubit b in
+  Builder.h b q0;
+  Builder.toffoli b ~c1:q0 ~c2:q1 ~target:q2;
+  Builder.swap b q0 q1;
+  let bit = Builder.measure b q2 in
+  Builder.if_bit b bit (fun () -> Builder.z b q0);
+  let rendered = Draw.render (Builder.to_circuit b) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("glyph " ^ needle) true (contains ~needle rendered))
+    [ "H"; "*"; "+"; "x"; "M"; "Z"; "?" ]
+
+let test_columns_pack () =
+  (* two disjoint gates share a column; overlapping gates do not *)
+  let b = Builder.create () in
+  let q = Array.init 4 (fun _ -> Builder.fresh_qubit b) in
+  Builder.x b q.(0);
+  Builder.x b q.(2);
+  Builder.cnot b ~control:q.(0) ~target:q.(1);
+  let c = Builder.to_circuit b in
+  let rendered = Draw.render c in
+  let width l = String.length l in
+  let ws = List.map width (lines rendered) in
+  (* all rows equally wide *)
+  (match ws with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+  | [] -> Alcotest.fail "no output");
+  (* the two X gates share column 0: row q0 and q2 each show X at the same
+     offset *)
+  let row n = List.nth (lines rendered) (n + 1) in
+  let x_pos l = String.index l 'X' in
+  Alcotest.(check int) "parallel X" (x_pos (row 0)) (x_pos (row 2))
+
+let test_vertical_connector () =
+  let b = Builder.create () in
+  let q0 = Builder.fresh_qubit b in
+  let _q1 = Builder.fresh_qubit b in
+  let q2 = Builder.fresh_qubit b in
+  Builder.cnot b ~control:q0 ~target:q2;
+  let rendered = Draw.render (Builder.to_circuit b) in
+  (* middle wire shows the crossing connector *)
+  Alcotest.(check bool) "connector through q1" true (contains ~needle:"|" rendered)
+
+let suite =
+  ( "draw",
+    [ Alcotest.test_case "row per wire" `Quick test_row_per_wire;
+      Alcotest.test_case "gate glyphs" `Quick test_gate_glyphs;
+      Alcotest.test_case "column packing" `Quick test_columns_pack;
+      Alcotest.test_case "vertical connectors" `Quick test_vertical_connector ] )

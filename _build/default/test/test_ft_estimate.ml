@@ -1,0 +1,82 @@
+(* Surface-code estimator: monotonicity and sanity properties, and the
+   MBU saving expressed in physical resources. *)
+
+open Mbu_circuit
+open Mbu_core
+
+let modadd_workload ~mbu n =
+  Ft_estimate.workload_of_resources
+    (Resources.measure ~n
+       ~build:(fun b ->
+         let x = Builder.fresh_register b "x" n in
+         let y = Builder.fresh_register b "y" n in
+         Mod_add.modadd ~mbu Mod_add.spec_cdkpm b ~p:((1 lsl n) - 1) ~x ~y)
+       ())
+
+let test_basic_sanity () =
+  let e = Ft_estimate.estimate (modadd_workload ~mbu:false 32) in
+  Alcotest.(check bool) "odd distance >= 3" true
+    (e.Ft_estimate.code_distance >= 3 && e.Ft_estimate.code_distance mod 2 = 1);
+  Alcotest.(check bool) "has physical qubits" true (e.Ft_estimate.physical_qubits > 0);
+  Alcotest.(check bool) "positive runtime" true (e.Ft_estimate.runtime_seconds > 0.)
+
+let test_distance_monotone_in_error_rate () =
+  let w = modadd_workload ~mbu:false 32 in
+  let at rate =
+    (Ft_estimate.estimate
+       ~params:{ Ft_estimate.default_params with physical_error_rate = rate }
+       w)
+      .Ft_estimate.code_distance
+  in
+  Alcotest.(check bool) "worse hardware needs higher distance" true
+    (at 1e-3 <= at 3e-3 && at 3e-3 <= at 5e-3)
+
+let test_distance_monotone_in_workload () =
+  let small = Ft_estimate.estimate (modadd_workload ~mbu:false 8) in
+  let large = Ft_estimate.estimate (modadd_workload ~mbu:false 48) in
+  Alcotest.(check bool) "bigger workload, >= distance" true
+    (large.Ft_estimate.code_distance >= small.Ft_estimate.code_distance);
+  Alcotest.(check bool) "bigger workload, more qubits" true
+    (large.Ft_estimate.physical_qubits > small.Ft_estimate.physical_qubits)
+
+let test_mbu_saves_runtime () =
+  (* the 12.4% Toffoli saving should carry through to wall-clock at equal
+     distance *)
+  let plain = Ft_estimate.estimate (modadd_workload ~mbu:false 32) in
+  let mbu = Ft_estimate.estimate (modadd_workload ~mbu:true 32) in
+  Alcotest.(check bool)
+    (Printf.sprintf "runtime %.3g < %.3g" mbu.Ft_estimate.runtime_seconds
+       plain.Ft_estimate.runtime_seconds)
+    true
+    (mbu.Ft_estimate.runtime_seconds < plain.Ft_estimate.runtime_seconds);
+  Alcotest.(check bool) "never more qubits" true
+    (mbu.Ft_estimate.physical_qubits <= plain.Ft_estimate.physical_qubits)
+
+let test_more_factories_faster () =
+  let w = modadd_workload ~mbu:false 48 in
+  let at k =
+    (Ft_estimate.estimate
+       ~params:{ Ft_estimate.default_params with factories = k }
+       w)
+      .Ft_estimate.runtime_seconds
+  in
+  Alcotest.(check bool) "factories reduce runtime (until depth-bound)" true
+    (at 8 <= at 1)
+
+let test_rejects_empty () =
+  Alcotest.check_raises "empty workload"
+    (Invalid_argument "Ft_estimate.estimate: empty workload") (fun () ->
+      ignore
+        (Ft_estimate.estimate
+           { Ft_estimate.toffoli = 0.; toffoli_depth = 0.; logical_qubits = 0 }))
+
+let suite =
+  ( "ft-estimate",
+    [ Alcotest.test_case "basic sanity" `Quick test_basic_sanity;
+      Alcotest.test_case "distance vs error rate" `Quick
+        test_distance_monotone_in_error_rate;
+      Alcotest.test_case "distance vs workload" `Quick
+        test_distance_monotone_in_workload;
+      Alcotest.test_case "mbu saves physical runtime" `Quick test_mbu_saves_runtime;
+      Alcotest.test_case "factories speed up" `Quick test_more_factories_faster;
+      Alcotest.test_case "rejects empty workload" `Quick test_rejects_empty ] )

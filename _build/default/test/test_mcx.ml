@@ -1,0 +1,69 @@
+(* Multi-controlled gates via logical-AND ladders. *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let rng = Helpers.rng
+
+let test_mcx_exhaustive () =
+  List.iter
+    (fun k ->
+      for v = 0 to (1 lsl (k + 1)) - 1 do
+        for _ = 1 to 2 do
+          let b = Builder.create () in
+          let r = Builder.fresh_register b "r" (k + 1) in
+          let controls = List.init k (Register.get r) in
+          Mcx.apply b ~controls ~target:(Register.get r k);
+          let res = Sim.run_builder ~rng b ~inits:[ (r, v) ] in
+          let all_set = v land ((1 lsl k) - 1) = (1 lsl k) - 1 in
+          let expect = if all_set then v lxor (1 lsl k) else v in
+          Alcotest.(check int)
+            (Printf.sprintf "k=%d v=%d" k v)
+            expect
+            (Sim.register_value_exn res.Sim.state r);
+          Alcotest.(check bool) "clean" true
+            (Sim.wires_zero res.Sim.state ~except:[ r ])
+        done
+      done)
+    [ 0; 1; 2; 3; 4 ]
+
+let test_mcz_phase () =
+  (* |1..1> picks up -1; everything else untouched: verify on the uniform
+     superposition *)
+  let k = 3 in
+  let b = Builder.create () in
+  let r = Builder.fresh_register b "r" k in
+  Array.iter (fun q -> Builder.h b q) (Register.qubits r);
+  (match List.init k (Register.get r) with
+  | target :: controls -> Mcx.apply_z b ~controls ~target
+  | [] -> assert false);
+  let res = Sim.run_builder ~rng b ~inits:[] in
+  let amp sgn : Complex.t = { re = sgn /. sqrt 8.0; im = 0.0 } in
+  let expected =
+    State.of_alist ~num_qubits:(State.num_qubits res.Sim.state)
+      (List.init 8 (fun v ->
+           let idx = ref 0 in
+           for i = 0 to k - 1 do
+             if (v lsr i) land 1 = 1 then idx := !idx lor (1 lsl Register.get r i)
+           done;
+           (!idx, amp (if v = 7 then -1.0 else 1.0))))
+  in
+  Alcotest.(check bool) "only |111> flipped" true
+    (State.fidelity res.Sim.state expected > 1. -. 1e-9)
+
+let test_mcx_cost () =
+  (* k-controlled X: k-1 Toffoli-equivalents computed, none uncomputed *)
+  let k = 10 in
+  let b = Builder.create () in
+  let r = Builder.fresh_register b "r" (k + 1) in
+  Mcx.apply b ~controls:(List.init k (Register.get r)) ~target:(Register.get r k);
+  let c = Circuit.counts ~mode:Counts.Worst (Builder.to_circuit b) in
+  Alcotest.(check (float 0.)) "k-1 toffoli" (float_of_int (k - 1)) c.Counts.toffoli;
+  Alcotest.(check bool) "mbu erasures present" true (c.Counts.measure >= float_of_int (k - 1))
+
+let suite =
+  ( "mcx",
+    [ Alcotest.test_case "mcx exhaustive" `Quick test_mcx_exhaustive;
+      Alcotest.test_case "mcz phase" `Quick test_mcz_phase;
+      Alcotest.test_case "cost k-1 toffoli" `Quick test_mcx_cost ] )

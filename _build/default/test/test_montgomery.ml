@@ -1,0 +1,139 @@
+(* Montgomery REDC multiplier: congruence and bound checks against the
+   classical definition, adjoint round trip, comparator-free structure. *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let rng = Helpers.rng
+let value = Sim.register_value_exn
+
+let rec pow_mod a e p =
+  if e = 0 then 1 mod p
+  else
+    let h = pow_mod a (e / 2) p in
+    let h2 = h * h mod p in
+    if e land 1 = 1 then h2 * a mod p else h2
+
+let test_redc_congruence () =
+  let n = 4 in
+  List.iter
+    (fun p ->
+      let r_inv = Mod_mul.modinv ~a:(pow_mod 2 n p) ~p in
+      List.iter
+        (fun a ->
+          for x_val = 0 to p - 1 do
+            let b = Builder.create () in
+            let x = Builder.fresh_register b "x" n in
+            let acc = Builder.fresh_register b "acc" (n + 2) in
+            let q = Builder.fresh_register b "q" n in
+            let out = Montgomery.mul_const_redc Adder.Cdkpm b ~a ~p ~x ~acc ~quotient:q in
+            let r = Sim.run_builder ~rng b ~inits:[ (x, x_val) ] in
+            let t = value r.Sim.state out in
+            let msg = Printf.sprintf "p=%d a=%d x=%d t=%d" p a x_val t in
+            Alcotest.(check bool) (msg ^ " semi-reduced") true (t < 2 * p);
+            Alcotest.(check int) (msg ^ " congruent")
+              (x_val * a * r_inv mod p)
+              (t mod p);
+            Alcotest.(check int) (msg ^ " x kept") x_val (value r.Sim.state x)
+          done)
+        [ 1; p / 2; p - 1 ])
+    [ 13; 15; 11 ]
+
+let test_redc_adjoint_roundtrip () =
+  (* unitary with CDKPM internals: adjoint restores everything, quotient
+     garbage included *)
+  let n = 4 and p = 13 and a = 7 in
+  for x_val = 0 to p - 1 do
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    let acc = Builder.fresh_register b "acc" (n + 2) in
+    let q = Builder.fresh_register b "q" n in
+    Builder.emit_adjoint b (fun () ->
+        ignore (Montgomery.mul_const_redc Adder.Cdkpm b ~a ~p ~x ~acc ~quotient:q));
+    (* adjoint-of-adjoint sandwich: forward then backward is identity *)
+    let b2 = Builder.create () in
+    let x2 = Builder.fresh_register b2 "x" n in
+    let acc2 = Builder.fresh_register b2 "acc" (n + 2) in
+    let q2 = Builder.fresh_register b2 "q" n in
+    let (), fwd =
+      Builder.capture b2 (fun () ->
+          ignore
+            (Montgomery.mul_const_redc Adder.Cdkpm b2 ~a ~p ~x:x2 ~acc:acc2
+               ~quotient:q2))
+    in
+    Builder.emit b2 fwd;
+    Builder.emit b2 (Instr.adjoint fwd);
+    let r = Sim.run_builder ~rng b2 ~inits:[ (x2, x_val) ] in
+    Alcotest.(check int) "x restored" x_val (value r.Sim.state x2);
+    Alcotest.(check int) "acc cleared" 0 (value r.Sim.state acc2);
+    Alcotest.(check int) "quotient cleared" 0 (value r.Sim.state q2)
+  done
+
+let test_redc_no_comparator () =
+  (* structurally comparator-free: no measurement, and strictly fewer
+     Toffoli than the compare-and-correct constant modular adder ladder of
+     the same width *)
+  let n = 8 and p = 251 and a = 100 in
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" n in
+  let acc = Builder.fresh_register b "acc" (n + 2) in
+  let q = Builder.fresh_register b "q" n in
+  ignore (Montgomery.mul_const_redc Adder.Cdkpm b ~a ~p ~x ~acc ~quotient:q);
+  let c = Builder.to_circuit b in
+  Alcotest.(check bool) "unitary (no measurement)" true (Circuit.is_unitary c);
+  let mont_tof = (Circuit.counts ~mode:Counts.Worst c).Counts.toffoli in
+  let b2 = Builder.create () in
+  let x2 = Builder.fresh_register b2 "x" n in
+  let t2 = Builder.fresh_register b2 "t" n in
+  Mod_mul.mult_add
+    (Mod_mul.ripple_engine ~mbu:false Mod_add.spec_cdkpm)
+    b2 ~a ~p ~x:x2 ~target:t2;
+  let ladder_tof =
+    (Circuit.counts ~mode:Counts.Worst (Builder.to_circuit b2)).Counts.toffoli
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "montgomery %.0f < ladder %.0f toffoli" mont_tof ladder_tof)
+    true
+    (mont_tof < ladder_tof)
+
+let test_redc_superposition () =
+  (* entangled quotient bits: the output register must still hold the right
+     congruence classes branch by branch *)
+  let n = 3 and p = 7 and a = 3 in
+  let r_inv = Mod_mul.modinv ~a:(pow_mod 2 n p) ~p in
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" n in
+  let acc = Builder.fresh_register b "acc" (n + 2) in
+  let q = Builder.fresh_register b "q" n in
+  (* superpose x over {1, 5} *)
+  Builder.x b (Register.get x 0);
+  Builder.h b (Register.get x 2);
+  let out = Montgomery.mul_const_redc Adder.Cdkpm b ~a ~p ~x ~acc ~quotient:q in
+  let r = Sim.run_builder ~rng b ~inits:[] in
+  (* project onto each x branch classically: every surviving basis state
+     must satisfy the congruence *)
+  let entries = State.to_alist r.Sim.state in
+  Alcotest.(check bool) "superposition survives" true (List.length entries >= 2);
+  List.iter
+    (fun (idx, _) ->
+      let read reg =
+        let v = ref 0 in
+        for i = Register.length reg - 1 downto 0 do
+          v := (!v lsl 1) lor ((idx lsr Register.get reg i) land 1)
+        done;
+        !v
+      in
+      let xv = read x and t = read out in
+      Alcotest.(check int)
+        (Printf.sprintf "branch x=%d" xv)
+        (xv * a * r_inv mod p)
+        (t mod p))
+    entries
+
+let suite =
+  ( "montgomery",
+    [ Alcotest.test_case "redc congruence" `Quick test_redc_congruence;
+      Alcotest.test_case "adjoint roundtrip" `Quick test_redc_adjoint_roundtrip;
+      Alcotest.test_case "comparator-free and cheap" `Quick test_redc_no_comparator;
+      Alcotest.test_case "superposition branches" `Quick test_redc_superposition ] )

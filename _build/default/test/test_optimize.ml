@@ -1,0 +1,236 @@
+(* Peephole optimizer: algebraic unit tests, semantic preservation on random
+   adaptive circuits, and the mechanical reproduction of proposition 3.7's
+   hand cancellation of adjacent QFT/IQFT pairs. *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let gates gs = List.map (fun g -> Instr.Gate g) gs
+let count_gates instrs = Instr.count_instrs (Optimize.instrs instrs)
+
+let test_basic_cancellations () =
+  Alcotest.(check int) "X X" 0 (count_gates (gates [ Gate.X 0; Gate.X 0 ]));
+  Alcotest.(check int) "H H" 0 (count_gates (gates [ Gate.H 0; Gate.H 0 ]));
+  Alcotest.(check int) "CNOT CNOT" 0
+    (count_gates
+       (gates
+          [ Gate.Cnot { control = 0; target = 1 };
+            Gate.Cnot { control = 0; target = 1 } ]));
+  Alcotest.(check int) "Toffoli pair with swapped controls" 0
+    (count_gates
+       (gates
+          [ Gate.Toffoli { c1 = 0; c2 = 1; target = 2 };
+            Gate.Toffoli { c1 = 1; c2 = 0; target = 2 } ]));
+  Alcotest.(check int) "X X with disjoint gate between" 1
+    (count_gates (gates [ Gate.X 0; Gate.Z 3; Gate.X 0 ]));
+  Alcotest.(check int) "no cancel across shared wire" 3
+    (count_gates
+       (gates [ Gate.X 0; Gate.Cnot { control = 0; target = 1 }; Gate.X 0 ]))
+
+let test_phase_merging () =
+  let p = Phase.theta 3 in
+  (match Optimize.instrs (gates [ Gate.Phase (0, p); Gate.Phase (0, p) ]) with
+  | [ Instr.Gate (Gate.Phase (0, q)) ] ->
+      Alcotest.(check bool) "angles added" true (Phase.equal q (Phase.theta 2))
+  | _ -> Alcotest.fail "expected a single merged rotation");
+  Alcotest.(check int) "opposite rotations vanish" 0
+    (count_gates (gates [ Gate.Phase (0, p); Gate.Phase (0, Phase.neg p) ]));
+  Alcotest.(check int) "cphase merge symmetric in wires" 1
+    (count_gates
+       (gates
+          [ Gate.Cphase { control = 0; target = 1; phase = p };
+            Gate.Cphase { control = 1; target = 0; phase = p } ]))
+
+let test_qft_iqft_cancels () =
+  (* the interleaved-wire sliding must erase the whole pair *)
+  let b = Builder.create () in
+  let r = Builder.fresh_register b "r" 6 in
+  Qft.apply b r;
+  Qft.apply_inverse b r;
+  let c = Builder.to_circuit b in
+  Alcotest.(check int) "QFT IQFT = identity" 0
+    (Circuit.num_gates (Optimize.circuit c))
+
+let test_barriers () =
+  (* gates must not cancel across a measurement *)
+  let instrs =
+    [ Instr.Gate (Gate.H 0);
+      Instr.Measure { qubit = 0; bit = 0; reset = false };
+      Instr.Gate (Gate.H 0) ]
+  in
+  Alcotest.(check int) "measure is a barrier" 3
+    (Instr.count_instrs (Optimize.instrs instrs));
+  (* but bodies of conditionals are optimized recursively *)
+  let instrs =
+    [ Instr.Measure { qubit = 0; bit = 0; reset = false };
+      Instr.If_bit
+        { bit = 0; value = true;
+          body = gates [ Gate.X 1; Gate.X 1; Gate.Z 1 ] } ]
+  in
+  match Optimize.instrs instrs with
+  | [ Instr.Measure _; Instr.If_bit { body = [ Instr.Gate (Gate.Z 1) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "conditional body not simplified"
+
+let test_idempotent () =
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" 3 in
+  let y = Builder.fresh_register b "y" 3 in
+  Mod_add.modadd ~mbu:true Mod_add.spec_cdkpm b ~p:7 ~x ~y;
+  let c = Builder.to_circuit b in
+  let once = Optimize.circuit c in
+  let twice = Optimize.circuit once in
+  Alcotest.(check int) "idempotent" (Circuit.num_gates once) (Circuit.num_gates twice)
+
+(* Random adaptive circuits: optimization must preserve observable
+   behaviour exactly (same measurement outcomes under the same RNG stream,
+   same final state up to global phase). *)
+let random_circuit rng ~num_qubits ~len =
+  let b = Builder.create () in
+  let regs = Builder.fresh_register b "q" num_qubits in
+  let q () = Register.get regs (Random.State.int rng num_qubits) in
+  let distinct2 () =
+    let a = q () in
+    let rec other () =
+      let c = q () in
+      if c = a then other () else c
+    in
+    (a, other ())
+  in
+  let bits = ref [] in
+  for _ = 1 to len do
+    match Random.State.int rng 12 with
+    | 0 -> Builder.x b (q ())
+    | 1 -> Builder.z b (q ())
+    | 2 -> Builder.h b (q ())
+    | 3 ->
+        Builder.phase b (q ())
+          (Phase.make ~num:(1 + Random.State.int rng 7) ~log2_den:3)
+    | 4 ->
+        let c, t = distinct2 () in
+        Builder.cnot b ~control:c ~target:t
+    | 5 ->
+        let a, c = distinct2 () in
+        Builder.cz b a c
+    | 6 ->
+        let a, c = distinct2 () in
+        Builder.swap b a c
+    | 7 ->
+        let c1, c2 = distinct2 () in
+        let rec t () =
+          let x = q () in
+          if x = c1 || x = c2 then t () else x
+        in
+        if num_qubits >= 3 then Builder.toffoli b ~c1 ~c2 ~target:(t ())
+    | 8 ->
+        let c, t = distinct2 () in
+        Builder.cphase b ~control:c ~target:t
+          (Phase.make ~num:(1 + Random.State.int rng 7) ~log2_den:3)
+    | 9 -> bits := Builder.measure b (q ()) :: !bits
+    | 10 | 11 -> (
+        match !bits with
+        | [] -> Builder.h b (q ())
+        | bit :: _ ->
+            Builder.if_bit b bit (fun () ->
+                Builder.x b (q ());
+                Builder.z b (q ())))
+    | _ -> assert false
+  done;
+  (Builder.to_circuit b, regs)
+
+let test_random_semantic_preservation () =
+  let rng = Random.State.make [| 0x09; 0x71 |] in
+  for trial = 1 to 60 do
+    let num_qubits = 2 + Random.State.int rng 3 in
+    let c, _ = random_circuit rng ~num_qubits ~len:(5 + Random.State.int rng 40) in
+    let opt = Optimize.circuit c in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: no growth" trial)
+      true
+      (Circuit.num_gates opt <= Circuit.num_gates c);
+    let init = State.basis ~num_qubits (Random.State.int rng (1 lsl num_qubits)) in
+    let seed = Random.State.int rng 10000 in
+    let run circ = Sim.run ~rng:(Random.State.make [| seed |]) circ ~init in
+    let a = run c and b = run opt in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: same outcomes" trial)
+      true (a.Sim.bits = b.Sim.bits);
+    let f = State.fidelity a.Sim.state b.Sim.state in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: fidelity %.6f" trial f)
+      true
+      (f > 1. -. 1e-9)
+  done
+
+(* Proposition 3.7 mechanically: composing the four Draper-style subroutines
+   generically and letting the optimizer cancel adjacent IQFT/QFT pairs must
+   approach the hand-fused modadd_draper circuit. *)
+let test_prop_3_7_cancellation () =
+  let n = 6 and p = 61 in
+  let spec_draper =
+    Mod_add.{ q_add = Adder.Draper; q_comp_const = Adder.Draper;
+              c_q_sub_const = Adder.Draper; q_comp = Adder.Draper }
+  in
+  let build f =
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    let y = Builder.fresh_register b "y" n in
+    f b ~x ~y;
+    Builder.to_circuit b
+  in
+  let generic = build (fun b ~x ~y -> Mod_add.modadd ~mbu:false spec_draper b ~p ~x ~y) in
+  let fused = build (fun b ~x ~y -> Mod_add.modadd_draper ~mbu:false b ~p ~x ~y) in
+  let units c =
+    Counts.qft_units ~m:(n + 1) (Circuit.counts ~mode:Counts.Worst c)
+  in
+  let before = units generic in
+  let after = units (Optimize.circuit generic) in
+  let fused_units = units fused in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimizer cancels QFT pairs: %.2f -> %.2f (fused %.2f)"
+       before after fused_units)
+    true
+    (after < before -. 1.5 && after < fused_units +. 4.);
+  (* and the optimized circuit still computes modular addition *)
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" n in
+  let y = Builder.fresh_register b "y" n in
+  Mod_add.modadd ~mbu:false spec_draper b ~p ~x ~y;
+  let opt = Optimize.circuit (Builder.to_circuit b) in
+  let init = Sim.init_registers ~num_qubits:opt.Circuit.num_qubits [ (x, 44); (y, 37) ] in
+  let r = Sim.run ~rng:(Random.State.make [| 5 |]) opt ~init in
+  Alcotest.(check int) "optimized circuit still correct" ((44 + 37) mod p)
+    (Sim.register_value_exn r.Sim.state y)
+
+let test_optimizer_on_ripple_adders () =
+  (* ripple adders are already irredundant: the optimizer must not break
+     them and should find little to remove *)
+  List.iter
+    (fun style ->
+      let n = 4 in
+      let b = Builder.create () in
+      let x = Builder.fresh_register b "x" n in
+      let y = Builder.fresh_register b "y" (n + 1) in
+      Adder.add style b ~x ~y;
+      let opt = Optimize.circuit (Builder.to_circuit b) in
+      let init = Sim.init_registers ~num_qubits:opt.Circuit.num_qubits [ (x, 11); (y, 13) ] in
+      let r = Sim.run ~rng:(Random.State.make [| 3 |]) opt ~init in
+      Alcotest.(check int)
+        (Adder.style_name style ^ " optimized still adds")
+        24
+        (Sim.register_value_exn r.Sim.state y))
+    Adder.all_styles
+
+let suite =
+  ( "optimize",
+    [ Alcotest.test_case "basic cancellations" `Quick test_basic_cancellations;
+      Alcotest.test_case "phase merging" `Quick test_phase_merging;
+      Alcotest.test_case "qft iqft cancels" `Quick test_qft_iqft_cancels;
+      Alcotest.test_case "measurement barriers" `Quick test_barriers;
+      Alcotest.test_case "idempotent" `Quick test_idempotent;
+      Alcotest.test_case "random semantic preservation" `Quick
+        test_random_semantic_preservation;
+      Alcotest.test_case "prop 3.7 qft cancellation" `Quick
+        test_prop_3_7_cancellation;
+      Alcotest.test_case "ripple adders survive" `Quick
+        test_optimizer_on_ripple_adders ] )

@@ -1,0 +1,114 @@
+(* OpenQASM 3 interchange: structural emission checks and semantic
+   round-trips (emit, parse, re-simulate) on hand-written and random
+   adaptive circuits, including the full MBU modular adders. *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_emission_shape () =
+  let b = Builder.create () in
+  let q0 = Builder.fresh_qubit b and q1 = Builder.fresh_qubit b in
+  Builder.h b q0;
+  Builder.cphase b ~control:q0 ~target:q1 (Phase.theta 3);
+  let bit = Builder.measure ~reset:true b q0 in
+  Builder.if_bit b bit (fun () -> Builder.cz b q0 q1);
+  let s = Qasm.to_string (Builder.to_circuit b) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains ~needle s))
+    [ "OPENQASM 3.0;"; "qubit[2] q;"; "h q[0];"; "cp(pi*1/4) q[0], q[1];";
+      "c[0] = measure q[0];"; "reset q[0];"; "if (c[0] == 1) {";
+      "cz q[0], q[1];" ]
+
+let semantically_equal c1 c2 ~num_qubits ~init ~seed =
+  let run c =
+    Sim.run ~rng:(Random.State.make [| seed |]) c
+      ~init:(State.basis ~num_qubits init)
+  in
+  let a = run c1 and b = run c2 in
+  a.Sim.bits = b.Sim.bits && State.fidelity a.Sim.state b.Sim.state > 1. -. 1e-9
+
+let test_roundtrip_modadd () =
+  (* the most demanding circuit we have: measurements, conditionals with
+     nested measurements (Gidney ANDs inside the MBU branch), phases *)
+  List.iter
+    (fun (name, build) ->
+      let b = Builder.create () in
+      let x = Builder.fresh_register b "x" 3 in
+      let y = Builder.fresh_register b "y" 3 in
+      build b ~x ~y;
+      let c = Builder.to_circuit b in
+      let c' = Qasm.of_string (Qasm.to_string c) in
+      Alcotest.(check int) (name ^ " qubits kept") c.Circuit.num_qubits
+        c'.Circuit.num_qubits;
+      for seed = 1 to 5 do
+        let init =
+          Sim.init_registers ~num_qubits:c.Circuit.num_qubits
+            [ (x, 4); (y, 6) ]
+        in
+        let run circ = Sim.run ~rng:(Random.State.make [| seed |]) circ ~init in
+        let a = run c and b' = run c' in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d same behaviour" name seed)
+          true
+          (a.Sim.bits = b'.Sim.bits
+          && State.fidelity a.Sim.state b'.Sim.state > 1. -. 1e-9)
+      done)
+    [ ("cdkpm+mbu", fun b ~x ~y -> Mod_add.modadd ~mbu:true Mod_add.spec_cdkpm b ~p:7 ~x ~y);
+      ("gidney+mbu", fun b ~x ~y -> Mod_add.modadd ~mbu:true Mod_add.spec_gidney b ~p:7 ~x ~y);
+      ("draper+mbu", fun b ~x ~y -> Mod_add.modadd_draper ~mbu:true b ~p:7 ~x ~y) ]
+
+let test_roundtrip_random () =
+  let rng = Random.State.make [| 0xa5; 0x17 |] in
+  for trial = 1 to 40 do
+    let num_qubits = 2 + Random.State.int rng 3 in
+    let c, _ =
+      Test_optimize.random_circuit rng ~num_qubits
+        ~len:(5 + Random.State.int rng 30)
+    in
+    let c' = Qasm.of_string (Qasm.to_string c) in
+    let init = Random.State.int rng (1 lsl num_qubits) in
+    let seed = 1 + Random.State.int rng 1000 in
+    Alcotest.(check bool)
+      (Printf.sprintf "random trial %d" trial)
+      true
+      (semantically_equal c c' ~num_qubits ~init ~seed)
+  done
+
+let test_parse_rejects_garbage () =
+  let bad = "OPENQASM 3.0;\nqubit[1] q;\nbit[1] c;\nfrobnicate q[0];\n" in
+  Alcotest.(check bool) "rejects unknown statement" true
+    (match Qasm.of_string bad with
+    | exception Failure msg -> contains ~needle:"unsupported" msg
+    | _ -> false)
+
+let test_angles_exact () =
+  (* dyadic angles survive the round trip exactly *)
+  let b = Builder.create () in
+  let q = Builder.fresh_qubit b in
+  List.iter (fun k -> Builder.phase b q (Phase.theta k)) [ 1; 2; 5; 10 ];
+  let c = Builder.to_circuit b in
+  let c' = Qasm.of_string (Qasm.to_string c) in
+  let phases circ =
+    let acc = ref [] in
+    Instr.iter_gates
+      (function Gate.Phase (_, p) -> acc := p :: !acc | _ -> ())
+      circ.Circuit.instrs;
+    List.rev !acc
+  in
+  Alcotest.(check bool) "angles identical" true
+    (List.for_all2 Phase.equal (phases c) (phases c'))
+
+let suite =
+  ( "qasm",
+    [ Alcotest.test_case "emission shape" `Quick test_emission_shape;
+      Alcotest.test_case "roundtrip modular adders" `Quick test_roundtrip_modadd;
+      Alcotest.test_case "roundtrip random circuits" `Quick test_roundtrip_random;
+      Alcotest.test_case "rejects garbage" `Quick test_parse_rejects_garbage;
+      Alcotest.test_case "exact dyadic angles" `Quick test_angles_exact ] )

@@ -1,0 +1,171 @@
+(* QROM lookup and measurement-based unlookup ([Bab+18; Gid19c], discussed
+   in the paper's related work as the flagship MBU application). *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_core
+
+let rng = Helpers.rng
+let value = Sim.register_value_exn
+
+let random_data rng k w =
+  Array.init (1 lsl k) (fun _ -> Random.State.int rng (1 lsl w))
+
+let test_lookup_exhaustive () =
+  let data_rng = Random.State.make [| 11 |] in
+  List.iter
+    (fun (k, w) ->
+      let data = random_data data_rng k w in
+      for a = 0 to (1 lsl k) - 1 do
+        let b = Builder.create () in
+        let address = Builder.fresh_register b "a" k in
+        let target = Builder.fresh_register b "t" w in
+        Qrom.lookup b ~address ~target ~data;
+        let r = Sim.run_builder ~rng b ~inits:[ (address, a) ] in
+        let msg = Printf.sprintf "k=%d w=%d a=%d" k w a in
+        Alcotest.(check int) msg data.(a) (value r.Sim.state target);
+        Alcotest.(check int) (msg ^ " addr kept") a (value r.Sim.state address);
+        Alcotest.(check bool) (msg ^ " clean") true
+          (Sim.wires_zero r.Sim.state ~except:[ address; target ])
+      done)
+    [ (1, 2); (2, 3); (3, 2); (4, 1) ]
+
+let test_lookup_xor_semantics () =
+  (* |a>|t> -> |a>|t XOR data(a)> (equation (4) is for t = 0; the circuit is
+     the XOR version) *)
+  let data = [| 3; 1; 2; 0 |] in
+  for a = 0 to 3 do
+    for t = 0 to 3 do
+      let b = Builder.create () in
+      let address = Builder.fresh_register b "a" 2 in
+      let target = Builder.fresh_register b "t" 2 in
+      Qrom.lookup b ~address ~target ~data;
+      let r = Sim.run_builder ~rng b ~inits:[ (address, a); (target, t) ] in
+      Alcotest.(check int)
+        (Printf.sprintf "a=%d t=%d" a t)
+        (t lxor data.(a))
+        (value r.Sim.state target)
+    done
+  done
+
+let superposed_lookup_state k w data =
+  let b = Builder.create () in
+  let address = Builder.fresh_register b "a" k in
+  let target = Builder.fresh_register b "t" w in
+  Array.iter (fun q -> Builder.h b q) (Register.qubits address);
+  Qrom.lookup b ~address ~target ~data;
+  (b, address, target)
+
+let entangled_expected ~num_qubits ~address ~target k data =
+  let amp : Complex.t = { re = 1.0 /. sqrt (float_of_int (1 lsl k)); im = 0.0 } in
+  State.of_alist ~num_qubits
+    (List.init (1 lsl k) (fun a ->
+         let idx = ref 0 in
+         for i = 0 to k - 1 do
+           if (a lsr i) land 1 = 1 then idx := !idx lor (1 lsl Register.get address i)
+         done;
+         for j = 0 to Register.length target - 1 do
+           if (data.(a) lsr j) land 1 = 1 then
+             idx := !idx lor (1 lsl Register.get target j)
+         done;
+         (!idx, amp)))
+
+let test_lookup_superposition () =
+  let k = 3 and w = 2 in
+  let data = random_data (Random.State.make [| 7 |]) k w in
+  let b, address, target = superposed_lookup_state k w data in
+  let r = Sim.run_builder ~rng b ~inits:[] in
+  let expected =
+    entangled_expected ~num_qubits:(State.num_qubits r.Sim.state) ~address
+      ~target k data
+  in
+  Alcotest.(check bool) "entangled lookup state" true
+    (State.fidelity r.Sim.state expected > 1. -. 1e-9)
+
+let test_phase_lookup () =
+  let k = 3 in
+  let table = [| false; true; true; false; true; false; false; true |] in
+  let b = Builder.create () in
+  let address = Builder.fresh_register b "a" k in
+  Array.iter (fun q -> Builder.h b q) (Register.qubits address);
+  Qrom.phase_lookup b ~address ~table;
+  let r = Sim.run_builder ~rng b ~inits:[] in
+  let amp sgn : Complex.t = { re = sgn /. sqrt 8.0; im = 0.0 } in
+  let expected =
+    State.of_alist ~num_qubits:(State.num_qubits r.Sim.state)
+      (List.init 8 (fun a ->
+           let idx = ref 0 in
+           for i = 0 to k - 1 do
+             if (a lsr i) land 1 = 1 then idx := !idx lor (1 lsl Register.get address i)
+           done;
+           (!idx, amp (if table.(a) then -1.0 else 1.0))))
+  in
+  Alcotest.(check bool) "phases applied" true
+    (State.fidelity r.Sim.state expected > 1. -. 1e-9);
+  Alcotest.(check bool) "ancillas clean" true
+    (Sim.wires_zero r.Sim.state ~except:[ address ])
+
+(* The critical test: lookup then MBU-unlookup on a superposed address must
+   restore the exact pre-lookup state — any missed fixup phase breaks the
+   fidelity check. *)
+let test_unlookup_roundtrip () =
+  List.iter
+    (fun (k, w, seed) ->
+      let data = random_data (Random.State.make [| seed |]) k w in
+      let b = Builder.create () in
+      let address = Builder.fresh_register b "a" k in
+      let target = Builder.fresh_register b "t" w in
+      Array.iter (fun q -> Builder.h b q) (Register.qubits address);
+      Qrom.lookup b ~address ~target ~data;
+      Qrom.unlookup b ~address ~target ~data;
+      for trial = 1 to 4 do
+        let r = Sim.run_builder ~rng b ~inits:[] in
+        let amp : Complex.t = { re = 1.0 /. sqrt (float_of_int (1 lsl k)); im = 0.0 } in
+        let expected =
+          State.of_alist ~num_qubits:(State.num_qubits r.Sim.state)
+            (List.init (1 lsl k) (fun a ->
+                 let idx = ref 0 in
+                 for i = 0 to k - 1 do
+                   if (a lsr i) land 1 = 1 then
+                     idx := !idx lor (1 lsl Register.get address i)
+                 done;
+                 (!idx, amp)))
+        in
+        let f = State.fidelity r.Sim.state expected in
+        Alcotest.(check bool)
+          (Printf.sprintf "k=%d w=%d trial %d fidelity %.6f" k w trial f)
+          true
+          (f > 1. -. 1e-9)
+      done)
+    [ (2, 1, 3); (3, 2, 5); (4, 2, 9) ]
+
+let test_unlookup_cost_advantage () =
+  (* the sqrt(L) story: for k = 8, w = 1, the MBU unlookup must be far
+     cheaper than re-running the lookup *)
+  let k = 8 and w = 1 in
+  let data = random_data (Random.State.make [| 21 |]) k w in
+  let tof build =
+    let b = Builder.create () in
+    let address = Builder.fresh_register b "a" k in
+    let target = Builder.fresh_register b "t" w in
+    build b ~address ~target;
+    (Circuit.counts ~mode:(Counts.Expected 0.5) (Builder.to_circuit b)).Counts.toffoli
+  in
+  let lookup_cost = tof (fun b ~address ~target -> Qrom.lookup b ~address ~target ~data) in
+  let naive = tof (fun b ~address ~target -> Qrom.unlookup_via_lookup b ~address ~target ~data) in
+  let mbu = tof (fun b ~address ~target -> Qrom.unlookup b ~address ~target ~data) in
+  Alcotest.(check bool)
+    (Printf.sprintf "lookup %.0f, naive unlookup %.0f, mbu unlookup %.1f"
+       lookup_cost naive mbu)
+    true
+    (mbu < naive /. 4. && lookup_cost > 200. && mbu < 40.)
+
+let suite =
+  ( "qrom",
+    [ Alcotest.test_case "lookup exhaustive" `Quick test_lookup_exhaustive;
+      Alcotest.test_case "lookup xor semantics" `Quick test_lookup_xor_semantics;
+      Alcotest.test_case "lookup on superposed address" `Quick
+        test_lookup_superposition;
+      Alcotest.test_case "phase lookup" `Quick test_phase_lookup;
+      Alcotest.test_case "mbu unlookup roundtrip" `Quick test_unlookup_roundtrip;
+      Alcotest.test_case "sqrt(L) cost advantage" `Quick test_unlookup_cost_advantage ] )
