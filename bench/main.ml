@@ -819,25 +819,48 @@ let run_bechamel () =
       | _ -> fpf "  %-24s %14s@." name "n/a")
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Driver with per-phase wall-clock accounting *)
+
+let phase_times : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let dt = Unix.gettimeofday () -. t0 in
+  phase_times := (name, dt) :: !phase_times
+
+let report_phase_times () =
+  header "Per-phase wall-clock time";
+  let times = List.rev !phase_times in
+  let total = List.fold_left (fun acc (_, dt) -> acc +. dt) 0. times in
+  fpf "  %-20s %10s %6s@." "phase" "seconds" "share";
+  List.iter
+    (fun (name, dt) ->
+      fpf "  %-20s %10.3f %5.1f%%@." name dt (100. *. dt /. Float.max total 1e-9))
+    times;
+  fpf "  %-20s %10.3f@." "total" total
+
 let () =
-  table1 ();
-  table1_big ();
-  table2 ();
-  table3 ();
-  table4 ();
-  table5 ();
-  table6 ();
-  experiment_monte_carlo ();
-  experiment_savings ();
-  experiment_two_sided ();
-  experiment_modmul ();
-  experiment_qrom ();
-  experiment_coset ();
-  experiment_tcount ();
-  experiment_pebble ();
-  experiment_aqft ();
-  experiment_depth ();
-  experiment_ft ();
-  experiment_ablations ();
-  run_bechamel ();
+  timed "table1" table1;
+  timed "table1_big" table1_big;
+  timed "table2" table2;
+  timed "table3" table3;
+  timed "table4" table4;
+  timed "table5" table5;
+  timed "table6" table6;
+  timed "monte_carlo" experiment_monte_carlo;
+  timed "savings" experiment_savings;
+  timed "two_sided" experiment_two_sided;
+  timed "modmul" experiment_modmul;
+  timed "qrom" experiment_qrom;
+  timed "coset" experiment_coset;
+  timed "tcount" experiment_tcount;
+  timed "pebble" experiment_pebble;
+  timed "aqft" experiment_aqft;
+  timed "depth" experiment_depth;
+  timed "ft" experiment_ft;
+  timed "ablations" experiment_ablations;
+  timed "bechamel" run_bechamel;
+  report_phase_times ();
   fpf "@.done.@."

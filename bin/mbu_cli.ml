@@ -279,7 +279,124 @@ let qasm_cmd =
   in
   Cmd.v (Cmd.info "qasm" ~doc:"Export a circuit as OpenQASM 3.") term
 
+let profile_cmd =
+  let run circuit style_s mbu n p a mode json shots max_depth no_merge seed =
+    (* The profile subcommand also accepts the paper's mixed Gidney+CDKPM
+       spec (theorem 3.6) as a pseudo-style. *)
+    let circuit, style =
+      match style_s with
+      | "mixed" ->
+          if circuit <> "modadd" then
+            failwith "--style mixed is only defined for --circuit modadd";
+          ("modadd-mixed", Adder.Cdkpm)
+      | "vbe" -> (circuit, Adder.Vbe)
+      | "gidney" -> (circuit, Adder.Gidney)
+      | "draper" -> (circuit, Adder.Draper)
+      | _ -> (circuit, Adder.Cdkpm)
+    in
+    let { builder; inits; _ } =
+      build_circuit ~circuit ~style ~mbu ~n ~p ~a ~x_val:3 ~y_val:5
+    in
+    let c = Builder.to_circuit builder in
+    let root = Trace.of_circuit ~mode c in
+    if json then print_string (Trace.to_json root)
+    else begin
+      Format.printf "circuit     : %s (%s%s), n = %d@." circuit style_s
+        (if mbu then ", MBU" else "") n;
+      Format.printf "qubits      : %d (%d inputs + %d ancillas)@."
+        (Builder.num_qubits builder) (Builder.input_qubits builder)
+        (Builder.ancilla_qubits builder);
+      Format.printf "spans       : %d@." (Instr.count_spans c.Circuit.instrs);
+      Format.printf "mode        : %a@.@."
+        (fun fmt -> function
+          | Counts.Worst -> Format.pp_print_string fmt "worst"
+          | Counts.Best -> Format.pp_print_string fmt "best"
+          | Counts.Expected pr -> Format.fprintf fmt "expected(%g)" pr)
+        mode;
+      print_string (Trace.render ~merge:(not no_merge) ?max_depth root);
+      if shots > 0 then begin
+        let open Mbu_simulator in
+        let st = Sim.new_stats () in
+        let rng = Random.State.make [| seed |] in
+        let init =
+          Sim.init_registers ~num_qubits:(Builder.num_qubits builder) inits
+        in
+        for _ = 1 to shots do
+          ignore (Sim.run ~rng ~on_event:(Sim.stats_hook st) c ~init);
+          Sim.record_run st
+        done;
+        let modelled =
+          match mode with
+          | Counts.Expected pr -> Printf.sprintf "%g" pr
+          | Counts.Worst -> "1, worst"
+          | Counts.Best -> "0, best"
+        in
+        Format.printf "@.";
+        (match Sim.taken_frequency st with
+        | None ->
+            Format.printf "branches    : none reached over %d shots@." shots
+        | Some f ->
+            Format.printf
+              "branches    : empirical taken frequency %.3f over %d shots \
+               (modelled %s)@."
+              f shots modelled;
+            List.iter
+              (fun bit ->
+                match Sim.bit_taken_frequency st bit with
+                | Some f -> Format.printf "  if c[%d]   : taken %.3f@." bit f
+                | None -> ())
+              (Sim.branch_bits st))
+      end
+    end
+  in
+  let style_arg =
+    let pstyle_conv =
+      let parse s =
+        match String.lowercase_ascii s with
+        | ("vbe" | "cdkpm" | "gidney" | "draper" | "mixed") as s -> Ok s
+        | _ -> Error (`Msg "style must be vbe | cdkpm | gidney | draper | mixed")
+      in
+      Arg.conv (parse, Format.pp_print_string)
+    in
+    Arg.(value & opt pstyle_conv "cdkpm"
+         & info [ "s"; "style" ] ~docv:"STYLE"
+             ~doc:"Adder family: vbe | cdkpm | gidney | draper | mixed.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit Chrome trace-event JSON instead of the rendered tree.")
+  in
+  let shots_arg =
+    Arg.(value & opt int 0
+         & info [ "shots" ]
+             ~doc:"Also Monte-Carlo the circuit this many times and report \
+                   empirical conditional-branch frequencies.")
+  in
+  let max_depth_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-depth" ] ~doc:"Prune the span tree below this depth.")
+  in
+  let no_merge_arg =
+    Arg.(value & flag
+         & info [ "no-merge" ]
+             ~doc:"Do not merge same-labelled sibling spans into one row.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let term =
+    Term.(const run $ circuit_arg $ style_arg $ mbu_arg $ n_arg $ p_arg $ a_arg
+          $ mode_arg $ json_arg $ shots_arg $ max_depth_arg $ no_merge_arg
+          $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Per-span resource attribution (flat/cumulative gate counts, \
+             ancilla peaks, depth) as a tree or Chrome trace JSON.")
+    term
+
 let () =
   let doc = "quantum modular arithmetic with measurement-based uncomputation" in
   let info = Cmd.info "mbu-cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ counts_cmd; draw_cmd; simulate_cmd; qasm_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ counts_cmd; draw_cmd; simulate_cmd; qasm_cmd; profile_cmd ]))

@@ -3,13 +3,17 @@ type t = {
   mutable next_bit : int;
   mutable input_qubits : int;
   mutable free_pool : Gate.qubit list;
+  free_set : (Gate.qubit, unit) Hashtbl.t;  (* membership mirror of free_pool *)
   mutable live_ancillas : int;
+  mutable peak_live : int;  (* high-water of live_ancillas since the innermost
+                               open span began (see [with_span]) *)
   mutable stack : Instr.t list list;  (* accumulators, innermost first, reversed *)
 }
 
 let create () =
   { next_qubit = 0; next_bit = 0; input_qubits = 0; free_pool = [];
-    live_ancillas = 0; stack = [ [] ] }
+    free_set = Hashtbl.create 64; live_ancillas = 0; peak_live = 0;
+    stack = [ [] ] }
 
 let fresh_qubit b =
   if b.live_ancillas > 0 || b.free_pool <> [] then
@@ -29,9 +33,11 @@ let fresh_bit b =
 
 let alloc_ancilla b =
   b.live_ancillas <- b.live_ancillas + 1;
+  if b.live_ancillas > b.peak_live then b.peak_live <- b.live_ancillas;
   match b.free_pool with
   | q :: rest ->
       b.free_pool <- rest;
+      Hashtbl.remove b.free_set q;
       q
   | [] ->
       let q = b.next_qubit in
@@ -39,9 +45,10 @@ let alloc_ancilla b =
       q
 
 let free_ancilla b q =
-  if List.mem q b.free_pool then invalid_arg "Builder.free_ancilla: double free";
+  if Hashtbl.mem b.free_set q then invalid_arg "Builder.free_ancilla: double free";
   b.live_ancillas <- b.live_ancillas - 1;
-  b.free_pool <- q :: b.free_pool
+  b.free_pool <- q :: b.free_pool;
+  Hashtbl.replace b.free_set q ()
 
 let alloc_ancilla_register b name n =
   Register.make ~name (Array.init n (fun _ -> alloc_ancilla b))
@@ -112,6 +119,25 @@ let if_bit ?(value = true) b bit f =
         raise e
   in
   push b (Instr.If_bit { bit; value; body })
+
+let with_span b label f =
+  enter b;
+  (* [peak_live] tracks the high-water mark of the innermost open span; a
+     child's peak folds back into the parent's running maximum on exit, so a
+     parent span always covers its children's ancilla usage. *)
+  let outer_peak = b.peak_live in
+  b.peak_live <- b.live_ancillas;
+  match f () with
+  | v ->
+      let body = leave b in
+      let peak_ancillas = b.peak_live in
+      b.peak_live <- max outer_peak peak_ancillas;
+      push b (Instr.Span { label; peak_ancillas; body });
+      v
+  | exception e ->
+      ignore (leave b);
+      b.peak_live <- max outer_peak b.peak_live;
+      raise e
 
 let capture b f =
   enter b;

@@ -64,6 +64,15 @@ val if_bit : ?value:bool -> t -> int -> (unit -> unit) -> unit
 (** [if_bit b bit f] runs [f], collecting everything it emits into a block
     conditioned on [bit = value] ([value] defaults to [true]). *)
 
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span b label f] runs [f] and wraps everything it emits in a named
+    {!Instr.Span} block. Spans are semantically transparent — counting,
+    depth, optimization, serialization and simulation all treat the block as
+    its body — but give {!Trace.profile} a hierarchical tree to attribute
+    gates, depth and ancillas to. The span records the live-ancilla
+    high-water mark reached while it was open. Nest freely; every arithmetic
+    constructor in [mbu.core] opens one. *)
+
 val capture : t -> (unit -> 'a) -> 'a * Instr.t list
 (** [capture b f] runs [f] and returns what it emitted {e without} adding it
     to the circuit. Allocation effects (fresh wires, ancilla pool) persist. *)

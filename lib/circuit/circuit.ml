@@ -17,6 +17,7 @@ let is_unitary c =
   let rec unit = function
     | [] -> true
     | Instr.Gate _ :: rest -> unit rest
+    | Instr.Span { body; _ } :: rest -> unit body && unit rest
     | (Instr.Measure _ | Instr.If_bit _) :: _ -> false
   in
   unit c.instrs

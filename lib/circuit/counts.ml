@@ -51,6 +51,9 @@ let of_instrs ~mode instrs =
     | Instr.If_bit { body; _ } :: rest ->
         let acc = count (weight *. branch_weight) acc body in
         count weight acc rest
+    | Instr.Span { body; _ } :: rest ->
+        let acc = count weight acc body in
+        count weight acc rest
   in
   count 1. zero instrs
 

@@ -42,6 +42,9 @@ let of_instrs ~mode instrs =
           (Float.max extra_tof (get env.btof bit))
           body;
         exec w extra_total extra_tof rest
+    | Instr.Span { body; _ } :: rest ->
+        exec w extra_total extra_tof body;
+        exec w extra_total extra_tof rest
   in
   exec 1. 0. 0. instrs;
   let max_of tbl = Hashtbl.fold (fun _ v m -> Float.max v m) tbl 0. in

@@ -44,6 +44,9 @@ let flatten instrs =
     | Instr.If_bit { body; _ } :: rest ->
         let acc = go true acc body in
         go conditional acc rest
+    | Instr.Span { body; _ } :: rest ->
+        let acc = go conditional acc body in
+        go conditional acc rest
   in
   List.rev (go false [] instrs)
 

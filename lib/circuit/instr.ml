@@ -2,10 +2,13 @@ type t =
   | Gate of Gate.t
   | Measure of { qubit : Gate.qubit; bit : int; reset : bool }
   | If_bit of { bit : int; value : bool; body : t list }
+  | Span of { label : string; peak_ancillas : int; body : t list }
 
-let adjoint instrs =
+let rec adjoint instrs =
   let adj_one = function
     | Gate g -> Gate (Gate.adjoint g)
+    | Span { label; peak_ancillas; body } ->
+        Span { label; peak_ancillas; body = adjoint body }
     | Measure _ | If_bit _ ->
         invalid_arg "Instr.adjoint: circuit contains a measurement"
   in
@@ -17,14 +20,14 @@ let rec iter_gates f = function
       f g;
       iter_gates f rest
   | Measure _ :: rest -> iter_gates f rest
-  | If_bit { body; _ } :: rest ->
+  | (If_bit { body; _ } | Span { body; _ }) :: rest ->
       iter_gates f body;
       iter_gates f rest
 
 let rec fold_instrs f acc = function
   | [] -> acc
   | (Gate _ as i) :: rest | (Measure _ as i) :: rest -> fold_instrs f (f acc i) rest
-  | (If_bit { body; _ } as i) :: rest ->
+  | ((If_bit { body; _ } | Span { body; _ }) as i) :: rest ->
       fold_instrs f (fold_instrs f (f acc i) body) rest
 
 let max_qubit instrs =
@@ -33,7 +36,7 @@ let max_qubit instrs =
       match i with
       | Gate g -> List.fold_left max acc (Gate.qubits g)
       | Measure { qubit; _ } -> max acc qubit
-      | If_bit _ -> acc)
+      | If_bit _ | Span _ -> acc)
     (-1) instrs
 
 let max_bit instrs =
@@ -42,10 +45,23 @@ let max_bit instrs =
       match i with
       | Gate _ -> acc
       | Measure { bit; _ } -> max acc bit
-      | If_bit { bit; _ } -> max acc bit)
+      | If_bit { bit; _ } -> max acc bit
+      | Span _ -> acc)
     (-1) instrs
 
-let count_instrs instrs = fold_instrs (fun acc _ -> acc + 1) 0 instrs
+(* Spans are weightless bookkeeping: they never count as instructions. *)
+let count_instrs instrs =
+  fold_instrs (fun acc i -> match i with Span _ -> acc | _ -> acc + 1) 0 instrs
+
+let count_spans instrs =
+  fold_instrs (fun acc i -> match i with Span _ -> acc + 1 | _ -> acc) 0 instrs
+
+let rec strip_spans = function
+  | [] -> []
+  | Span { body; _ } :: rest -> strip_spans body @ strip_spans rest
+  | If_bit { bit; value; body } :: rest ->
+      If_bit { bit; value; body = strip_spans body } :: strip_spans rest
+  | ((Gate _ | Measure _) as i) :: rest -> i :: strip_spans rest
 
 let rec pp fmt = function
   | Gate g -> Gate.pp fmt g
@@ -53,5 +69,9 @@ let rec pp fmt = function
       Format.fprintf fmt "M%s %d -> c%d" (if reset then "r" else "") qubit bit
   | If_bit { bit; value; body } ->
       Format.fprintf fmt "@[<v 2>if c%d = %b {%a}@]" bit value
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp)
+        body
+  | Span { label; body; _ } ->
+      Format.fprintf fmt "@[<v 2>span %S {%a}@]" label
         (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp)
         body

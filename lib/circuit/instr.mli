@@ -15,12 +15,21 @@ type t =
           gate, matching the usual measure-and-reset primitive). *)
   | If_bit of { bit : int; value : bool; body : t list }
       (** Execute [body] iff classical [bit] equals [value]. *)
+  | Span of { label : string; peak_ancillas : int; body : t list }
+      (** A named, semantically transparent grouping of [body] — the unit of
+          attribution for {!Trace} profiles. [label] names the subroutine
+          that emitted the block (e.g. ["modadd.comp_p"]); [peak_ancillas]
+          records the builder's live-ancilla high-water mark while the span
+          was open. Spans nest, forming the hierarchical call tree of the
+          circuit's construction. Every consumer (counting, depth,
+          optimization, serialization, simulation) treats a span exactly as
+          its body. *)
 
 val adjoint : t list -> t list
-(** Adjoint of a measurement-free instruction sequence. Raises
-    [Invalid_argument] if the sequence contains [Measure] or [If_bit]
-    (remark 2.23: circuits involving a measurement are generally not
-    invertible). *)
+(** Adjoint of a measurement-free instruction sequence. Spans are preserved
+    (same label, adjointed body). Raises [Invalid_argument] if the sequence
+    contains [Measure] or [If_bit] (remark 2.23: circuits involving a
+    measurement are generally not invertible). *)
 
 val iter_gates : (Gate.t -> unit) -> t list -> unit
 (** Visit every gate, including those inside conditional bodies. *)
@@ -32,6 +41,14 @@ val max_bit : t list -> int
 (** Largest classical bit index used, or [-1]. *)
 
 val count_instrs : t list -> int
-(** Total number of instructions, conditionals counted with their bodies. *)
+(** Total number of instructions, conditionals and spans counted with their
+    bodies. *)
+
+val count_spans : t list -> int
+(** Number of [Span] nodes anywhere in the program. *)
+
+val strip_spans : t list -> t list
+(** Erase the span structure, splicing every span body in place. The result
+    is gate-for-gate the same program without attribution markers. *)
 
 val pp : Format.formatter -> t -> unit

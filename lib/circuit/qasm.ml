@@ -43,6 +43,12 @@ let to_string (c : Circuit.t) =
           (Printf.sprintf "if (c[%d] == %d) {" bit (if value then 1 else 0));
         List.iter (emit (indent + 1)) body;
         line indent "}"
+    | Instr.Span { label; peak_ancillas; body } ->
+        (* Spans ride along as structured comments: any OpenQASM 3 consumer
+           skips them, while [of_string] reconstructs the span tree. *)
+        line indent (Printf.sprintf "// span begin: %s (anc=%d)" label peak_ancillas);
+        List.iter (emit (indent + 1)) body;
+        line indent "// span end"
   in
   List.iter (emit 0) c.Circuit.instrs;
   Buffer.contents buf
@@ -92,10 +98,15 @@ let paren_arg lineno s =
   | _ -> fail_at lineno "missing (angle)"
 
 let of_string text =
+  let is_comment l = String.length l >= 2 && String.sub l 0 2 = "//" in
+  let is_span_marker l =
+    String.length l >= 8 && String.sub l 0 8 = "// span "
+  in
   let lines =
     String.split_on_char '\n' text
     |> List.mapi (fun i l -> (i + 1, String.trim l))
-    |> List.filter (fun (_, l) -> l <> "" && not (String.length l >= 2 && String.sub l 0 2 = "//"))
+    |> List.filter (fun (_, l) ->
+           l <> "" && (is_span_marker l || not (is_comment l)))
   in
   let lines = ref lines in
   let peek () = match !lines with [] -> None | l :: _ -> Some l in
@@ -108,13 +119,40 @@ let of_string text =
   let rec parse_block acc =
     match peek () with
     | None -> List.rev acc
-    | Some (_, "}") ->
+    | Some (_, "}") | Some (_, "// span end") ->
         advance ();
         List.rev acc
     | Some (lineno, l) ->
         advance ();
         let instr =
-          if starts_with "OPENQASM" l || starts_with "include" l then None
+          if starts_with "// span begin: " l then begin
+            let payload = String.sub l 15 (String.length l - 15) in
+            (* "LABEL (anc=N)"; the suffix is optional for hand-written input *)
+            let label, peak_ancillas =
+              let rec find_suffix i =
+                if i < 0 then None
+                else if
+                  i + 6 <= String.length payload
+                  && String.sub payload i 6 = " (anc="
+                then Some i
+                else find_suffix (i - 1)
+              in
+              match find_suffix (String.length payload - 6) with
+              | Some i
+                when String.length payload > i + 6
+                     && payload.[String.length payload - 1] = ')' -> (
+                  let num =
+                    String.sub payload (i + 6) (String.length payload - i - 7)
+                  in
+                  match int_of_string_opt num with
+                  | Some anc -> (String.sub payload 0 i, anc)
+                  | None -> (payload, 0))
+              | _ -> (payload, 0)
+            in
+            let body = parse_block [] in
+            Some (Instr.Span { label; peak_ancillas; body })
+          end
+          else if starts_with "OPENQASM" l || starts_with "include" l then None
           else if starts_with "qubit[" l then begin
             num_qubits := List.hd (indices lineno l);
             None

@@ -1,0 +1,219 @@
+type entry = {
+  label : string;
+  path : string list;
+  start : float;
+  dur : float;
+  flat : Counts.t;
+  cum : Counts.t;
+  peak_ancillas : int;
+  total_depth : float;
+  toffoli_depth : float;
+  calls : int;
+  children : entry list;
+}
+
+let root_label = "(root)"
+
+let depth_mode = function
+  | Counts.Worst -> `Worst
+  | Counts.Best -> `Expected 0.
+  | Counts.Expected p -> `Expected p
+
+let cum_of flat children =
+  List.fold_left (fun acc e -> Counts.add acc e.cum) flat children
+
+let profile ?(mode = Counts.Expected 0.5) instrs =
+  let branch_weight =
+    match mode with Counts.Worst -> 1. | Best -> 0. | Expected p -> p
+  in
+  (* [clock] is the running weighted instruction count — the span timeline's
+     time axis; a gate or measurement under branch probability [w] advances
+     it by [w]. *)
+  let clock = ref 0. in
+  (* returns (flat counts, children in emission order) for one block *)
+  let rec walk path w instrs =
+    let flat, rev_children =
+      List.fold_left
+        (fun (flat, kids) i ->
+          match i with
+          | Instr.Gate g ->
+              clock := !clock +. w;
+              (Counts.add flat (Counts.scale w (Counts.of_gate g)), kids)
+          | Instr.Measure _ ->
+              clock := !clock +. w;
+              (Counts.add flat (Counts.scale w { Counts.zero with measure = 1. }),
+               kids)
+          | Instr.If_bit { body; _ } ->
+              (* a conditional block is not a span: its contents attribute to
+                 the enclosing span, discounted by the branch probability *)
+              let bflat, bkids = walk path (w *. branch_weight) body in
+              (Counts.add flat bflat, List.rev_append bkids kids)
+          | Instr.Span { label; peak_ancillas; body } ->
+              let start = !clock in
+              let cpath = path @ [ label ] in
+              let bflat, bkids = walk cpath w body in
+              let d = Depth.of_instrs ~mode:(depth_mode mode) body in
+              let e =
+                { label; path = cpath; start; dur = !clock -. start;
+                  flat = bflat; cum = cum_of bflat bkids; peak_ancillas;
+                  total_depth = d.Depth.total; toffoli_depth = d.Depth.toffoli;
+                  calls = 1; children = bkids }
+              in
+              (flat, e :: kids))
+        (Counts.zero, []) instrs
+    in
+    (flat, List.rev rev_children)
+  in
+  let flat, children = walk [] 1. instrs in
+  let d = Depth.of_instrs ~mode:(depth_mode mode) instrs in
+  let peak =
+    List.fold_left (fun m e -> max m e.peak_ancillas) 0 children
+  in
+  { label = root_label; path = []; start = 0.; dur = !clock; flat;
+    cum = cum_of flat children; peak_ancillas = peak;
+    total_depth = d.Depth.total; toffoli_depth = d.Depth.toffoli; calls = 1;
+    children }
+
+let of_circuit ?mode (c : Circuit.t) = profile ?mode c.Circuit.instrs
+
+let rec flatten e = e :: List.concat_map flatten e.children
+
+let find root label =
+  List.find_opt (fun e -> e.label = label) (flatten root)
+
+let sum_flat root =
+  List.fold_left (fun acc e -> Counts.add acc e.flat) Counts.zero (flatten root)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+(* Collapse runs of same-labelled siblings (e.g. the n [and.compute] leaves
+   of a Gidney adder) into one row: counts and durations sum, ancilla peaks
+   max, children merge recursively. *)
+let rec merge_siblings entries =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt tbl e.label with
+      | None ->
+          Hashtbl.replace tbl e.label e;
+          order := e.label :: !order
+      | Some m ->
+          Hashtbl.replace tbl e.label
+            { m with
+              dur = m.dur +. e.dur;
+              flat = Counts.add m.flat e.flat;
+              cum = Counts.add m.cum e.cum;
+              peak_ancillas = max m.peak_ancillas e.peak_ancillas;
+              total_depth = m.total_depth +. e.total_depth;
+              toffoli_depth = m.toffoli_depth +. e.toffoli_depth;
+              calls = m.calls + e.calls;
+              children = m.children @ e.children })
+    entries;
+  List.rev_map
+    (fun label ->
+      let m = Hashtbl.find tbl label in
+      { m with children = merge_siblings m.children })
+    !order
+
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.1f" v
+
+let render ?(merge = true) ?max_depth root =
+  let root = if merge then { root with children = merge_siblings root.children } else root in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-44s %5s %9s %9s %7s %7s %5s %9s %9s\n" "span" "calls"
+       "flat Tof" "cum Tof" "CNOT+CZ" "X" "anc" "Tof-depth" "gates");
+  let rec go prefix child_prefix e =
+    let name = prefix ^ e.label in
+    let name =
+      if String.length name > 44 then String.sub name 0 41 ^ "..." else name
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%-44s %5d %9s %9s %7s %7s %5d %9s %9s\n" name e.calls
+         (fnum e.flat.Counts.toffoli)
+         (fnum e.cum.Counts.toffoli)
+         (fnum (Counts.cnot_cz e.cum))
+         (fnum e.cum.Counts.x)
+         e.peak_ancillas
+         (fnum e.toffoli_depth)
+         (fnum (Counts.total_gates e.cum +. e.cum.Counts.measure)));
+    let deep =
+      match max_depth with
+      | Some d -> List.length e.path >= d
+      | None -> false
+    in
+    if not deep then begin
+      let rec kids = function
+        | [] -> ()
+        | [ last ] -> go (child_prefix ^ "`- ") (child_prefix ^ "   ") last
+        | k :: rest ->
+            go (child_prefix ^ "|- ") (child_prefix ^ "|  ") k;
+            kids rest
+      in
+      kids e.children
+    end
+  in
+  go "" "" root;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+(* One complete ("ph":"X") event per span, on a weighted-gate-count time
+   axis; loads directly into chrome://tracing / Perfetto / speedscope. *)
+let to_json root =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let rec emit e =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\n{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+          \"ts\":%s,\"dur\":%s,\"args\":{\
+          \"path\":\"%s\",\
+          \"toffoli\":%s,\"cnot_cz\":%s,\"x\":%s,\"measure\":%s,\
+          \"flat_toffoli\":%s,\"flat_cnot_cz\":%s,\
+          \"peak_ancillas\":%d,\"toffoli_depth\":%s,\"total_depth\":%s}}"
+         (json_escape e.label)
+         (jnum e.start) (jnum e.dur)
+         (json_escape (String.concat "/" e.path))
+         (jnum e.cum.Counts.toffoli)
+         (jnum (Counts.cnot_cz e.cum))
+         (jnum e.cum.Counts.x)
+         (jnum e.cum.Counts.measure)
+         (jnum e.flat.Counts.toffoli)
+         (jnum (Counts.cnot_cz e.flat))
+         e.peak_ancillas
+         (jnum e.toffoli_depth)
+         (jnum e.total_depth));
+    List.iter emit e.children
+  in
+  emit root;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf

@@ -10,11 +10,18 @@ let style_name = function
   | Gidney -> "gidney"
   | Draper -> "draper"
 
+(* Wrap an emission in a span named after the subroutine and the adder
+   style, e.g. "adder.add[gidney]" — the unit of attribution that
+   [Trace.profile] reports on. *)
+let spanned b name style f =
+  Builder.with_span b (Printf.sprintf "%s[%s]" name (style_name style)) f
+
 (* All four plain adders implement y <- (x + y) mod 2^(n+1) even when the
    most significant qubit of y starts dirty: the top carry is XORed into y_n
    rather than assumed zero. The subtraction and comparator constructions
    below rely on this. *)
 let add style b ~x ~y =
+  spanned b "adder.add" style @@ fun () ->
   match style with
   | Vbe -> Adder_vbe.add b ~x ~y
   | Cdkpm -> Adder_cdkpm.add b ~x ~y
@@ -33,6 +40,7 @@ let sub_via_complement style b ~x ~y =
   complement_register b y
 
 let sub style b ~x ~y =
+  spanned b "adder.sub" style @@ fun () ->
   if is_unitary_style style then Builder.emit_adjoint b (fun () -> add style b ~x ~y)
   else sub_via_complement style b ~x ~y
 
@@ -93,6 +101,7 @@ let add_controlled_load_and_mbu style b ~ctrl ~x ~y =
   with_loaded_addend b ~load ~unload n (fun cx -> add style b ~x:cx ~y)
 
 let add_controlled ?(impl = Native) style b ~ctrl ~x ~y =
+  spanned b "adder.cadd" style @@ fun () ->
   match impl, style with
   | Load_toffoli, _ -> add_controlled_load_toffoli style b ~ctrl ~x ~y
   | Load_and_mbu, _ -> add_controlled_load_and_mbu style b ~ctrl ~x ~y
@@ -107,6 +116,7 @@ let add_controlled ?(impl = Native) style b ~ctrl ~x ~y =
 (* The complement identity also inverts a controlled addition:
    NOT (NOT y + c.x) = y - c.x, and reduces to the identity when c = 0. *)
 let sub_controlled style b ~ctrl ~x ~y =
+  spanned b "adder.csub" style @@ fun () ->
   complement_register b y;
   add_controlled style b ~ctrl ~x ~y;
   complement_register b y
@@ -115,6 +125,7 @@ let sub_controlled style b ~ctrl ~x ~y =
 (* Constants *)
 
 let add_const style b ~a ~y =
+  spanned b "adder.add_const" style @@ fun () ->
   let n = Register.length y - 1 in
   match style with
   | Draper -> Adder_draper.add_const b ~a ~y
@@ -126,6 +137,7 @@ let add_const style b ~a ~y =
           load_const b ~a ka)
 
 let sub_const style b ~a ~y =
+  spanned b "adder.sub_const" style @@ fun () ->
   let n = Register.length y - 1 in
   match style with
   | Draper ->
@@ -146,6 +158,7 @@ let sub_const style b ~a ~y =
           load_const b ~a ka)
 
 let add_const_controlled style b ~ctrl ~a ~y =
+  spanned b "adder.cadd_const" style @@ fun () ->
   let n = Register.length y - 1 in
   match style with
   | Draper -> Adder_draper.add_const_controlled b ~ctrl ~a ~y
@@ -157,6 +170,7 @@ let add_const_controlled style b ~ctrl ~a ~y =
           load_const_controlled b ~ctrl ~a ka)
 
 let sub_const_controlled style b ~ctrl ~a ~y =
+  spanned b "adder.csub_const" style @@ fun () ->
   let n = Register.length y - 1 in
   match style with
   | Draper ->
@@ -176,6 +190,7 @@ let sub_const_controlled style b ~ctrl ~a ~y =
 (* Comparators *)
 
 let compare style b ~x ~y ~target =
+  spanned b "adder.compare" style @@ fun () ->
   match style with
   | Vbe -> Adder_vbe.compare b ~x ~y ~target
   | Cdkpm -> Adder_cdkpm.compare b ~x ~y ~target
@@ -193,6 +208,7 @@ let compare_generic style b ~x ~y ~target =
       add style b ~x ~y:ys)
 
 let compare_controlled style b ~ctrl ~x ~y ~target =
+  spanned b "adder.ccompare" style @@ fun () ->
   match style with
   | Cdkpm -> Adder_cdkpm.compare_controlled b ~ctrl ~x ~y ~target
   | Gidney -> Adder_gidney.compare_controlled b ~ctrl ~x ~y ~target
@@ -205,6 +221,7 @@ let compare_controlled style b ~ctrl ~x ~y ~target =
           compare style b ~x ~y ~target:t)
 
 let compare_const style b ~a ~x ~target =
+  spanned b "adder.compare_const" style @@ fun () ->
   match style with
   | Draper -> Adder_draper.compare_const b ~a ~x ~target
   | Vbe | Cdkpm | Gidney ->
@@ -225,6 +242,7 @@ let compare_const_via_sub style b ~a ~x ~target =
 
 (* Definition 2.37 / theorem 2.38: 1[x < c.a] via a controlled load. *)
 let compare_const_controlled style b ~ctrl ~a ~x ~target =
+  spanned b "adder.ccompare_const" style @@ fun () ->
   Builder.with_ancilla_register b "kc" (Register.length x) (fun ka ->
       check_const "Adder.compare_const_controlled" ~a ka;
       load_const_controlled b ~ctrl ~a ka;
@@ -236,6 +254,7 @@ let compare_ge_const style b ~a ~x ~target =
   Builder.x b target
 
 let add_mod style b ~x ~y =
+  spanned b "adder.add_mod" style @@ fun () ->
   match style with
   | Vbe -> Adder_vbe.add_mod b ~x ~y
   | Cdkpm -> Adder_cdkpm.add_mod b ~x ~y
@@ -243,6 +262,7 @@ let add_mod style b ~x ~y =
   | Draper -> Adder_draper.add_mod b ~x ~y
 
 let add_const_mod style b ~a ~y =
+  spanned b "adder.add_const_mod" style @@ fun () ->
   let m = Register.length y in
   match style with
   | Draper ->
@@ -257,6 +277,7 @@ let add_const_mod style b ~a ~y =
           load_const b ~a ka)
 
 let add_const_mod_controlled style b ~ctrl ~a ~y =
+  spanned b "adder.cadd_const_mod" style @@ fun () ->
   let m = Register.length y in
   match style with
   | Draper ->

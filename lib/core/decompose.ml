@@ -51,6 +51,8 @@ let circuit ?(fresh_target_and = false) (c : Circuit.t) =
         i :: rewrite rest
     | Instr.If_bit { bit; value; body } :: rest ->
         Instr.If_bit { bit; value; body = rewrite body } :: rewrite rest
+    | Instr.Span { label; peak_ancillas; body } :: rest ->
+        Instr.Span { label; peak_ancillas; body = rewrite body } :: rewrite rest
   in
   Circuit.make ~num_qubits:c.Circuit.num_qubits ~num_bits:c.Circuit.num_bits
     (rewrite c.Circuit.instrs)
@@ -70,5 +72,6 @@ let t_count ~mode instrs =
     | Instr.Gate g :: rest -> (if is_t g then w else 0.) +. count w rest
     | Instr.Measure _ :: rest -> count w rest
     | Instr.If_bit { body; _ } :: rest -> count (w *. weight) body +. count w rest
+    | Instr.Span { body; _ } :: rest -> count w body +. count w rest
   in
   count 1. instrs

@@ -7,6 +7,7 @@ let apply b y =
   let m = Register.length y in
   let yq = Register.get y in
   if m = 0 then invalid_arg "Increment.apply: empty register";
+  Builder.with_span b "increment" @@ fun () ->
   if m >= 2 then begin
     let t = Array.make m (-1) in
     (* t.(i) holds c_i for 2 <= i <= m-1 *)
@@ -38,6 +39,7 @@ let apply_controlled b ~ctrl y =
   let m = Register.length y in
   let yq = Register.get y in
   if m = 0 then invalid_arg "Increment.apply_controlled: empty register";
+  Builder.with_span b "cincrement" @@ fun () ->
   if m >= 2 then begin
     let t = Array.make m (-1) in
     (* t.(i) holds c_i for 1 <= i <= m-1 *)

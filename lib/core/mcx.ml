@@ -21,11 +21,14 @@ let apply b ~controls ~target =
   match controls with
   | [] -> Builder.x b target
   | [ c ] -> Builder.cnot b ~control:c ~target
-  | controls -> with_conjunction b ~controls (fun w -> Builder.cnot b ~control:w ~target)
+  | controls ->
+      Builder.with_span b "mcx" (fun () ->
+          with_conjunction b ~controls (fun w -> Builder.cnot b ~control:w ~target))
 
 let apply_z b ~controls ~target =
   match controls with
   | [] -> Builder.z b target
   | [ c ] -> Builder.cz b c target
   | controls ->
-      with_conjunction b ~controls (fun w -> Builder.cz b w target)
+      Builder.with_span b "mcz" (fun () ->
+          with_conjunction b ~controls (fun w -> Builder.cz b w target))

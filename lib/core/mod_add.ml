@@ -47,6 +47,12 @@ let check_modulus name ~p ~n =
 let uncompute ~mbu b ~garbage ~ug =
   if mbu then Mbu.uncompute_bit b ~garbage ~ug else ug ()
 
+(* Span label for a modular-adder variant: "modadd[gidney+cdkpm]+mbu". *)
+let span_label name ~mbu spec =
+  Printf.sprintf "%s[%s]%s" name (spec_name spec) (if mbu then "+mbu" else "")
+
+let fixed_label name ~mbu = name ^ if mbu then "+mbu" else ""
+
 (* Proposition 3.2 / theorem 4.2. Stages:
    1. plain addition into the (n+1)-qubit extension of y;
    2. t <- 1[x+y < p], flipped to d = 1[x+y >= p];
@@ -56,15 +62,19 @@ let modadd ?(mbu = false) spec b ~p ~x ~y =
   let n = Register.length x in
   if Register.length y <> n then invalid_arg "Mod_add.modadd: unequal lengths";
   check_modulus "Mod_add.modadd" ~p ~n;
+  Builder.with_span b (span_label "modadd" ~mbu spec) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let ys = Register.extend y high in
-      Adder.add spec.q_add b ~x ~y:ys;
+      Builder.with_span b "modadd.add" (fun () -> Adder.add spec.q_add b ~x ~y:ys);
       Builder.with_ancilla b (fun t ->
-          compare_with_modulus spec.q_comp_const b ~p ~sum:ys ~target:t;
-          Builder.x b t;
-          Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:t ~a:p ~y:ys;
-          uncompute ~mbu b ~garbage:t ~ug:(fun () ->
-              Adder.compare spec.q_comp b ~x ~y ~target:t)))
+          Builder.with_span b "modadd.comp_p" (fun () ->
+              compare_with_modulus spec.q_comp_const b ~p ~sum:ys ~target:t;
+              Builder.x b t);
+          Builder.with_span b "modadd.csub_p" (fun () ->
+              Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:t ~a:p ~y:ys);
+          Builder.with_span b "modadd.uncomp" (fun () ->
+              uncompute ~mbu b ~garbage:t ~ug:(fun () ->
+                  Adder.compare spec.q_comp b ~x ~y ~target:t))))
 
 (* Proposition 3.9 / theorem 4.7: only the first adder and the erasing
    comparator carry the control. *)
@@ -73,15 +83,20 @@ let modadd_controlled ?(mbu = false) spec b ~ctrl ~p ~x ~y =
   if Register.length y <> n then
     invalid_arg "Mod_add.modadd_controlled: unequal lengths";
   check_modulus "Mod_add.modadd_controlled" ~p ~n;
+  Builder.with_span b (span_label "cmodadd" ~mbu spec) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let ys = Register.extend y high in
-      Adder.add_controlled spec.q_add b ~ctrl ~x ~y:ys;
+      Builder.with_span b "modadd.add" (fun () ->
+          Adder.add_controlled spec.q_add b ~ctrl ~x ~y:ys);
       Builder.with_ancilla b (fun t ->
-          compare_with_modulus spec.q_comp_const b ~p ~sum:ys ~target:t;
-          Builder.x b t;
-          Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:t ~a:p ~y:ys;
-          uncompute ~mbu b ~garbage:t ~ug:(fun () ->
-              Adder.compare_controlled spec.q_comp b ~ctrl ~x ~y ~target:t)))
+          Builder.with_span b "modadd.comp_p" (fun () ->
+              compare_with_modulus spec.q_comp_const b ~p ~sum:ys ~target:t;
+              Builder.x b t);
+          Builder.with_span b "modadd.csub_p" (fun () ->
+              Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:t ~a:p ~y:ys);
+          Builder.with_span b "modadd.uncomp" (fun () ->
+              uncompute ~mbu b ~garbage:t ~ug:(fun () ->
+                  Adder.compare_controlled spec.q_comp b ~ctrl ~x ~y ~target:t))))
 
 (* Theorem 3.14 / theorem 4.10: the VBE architecture specialized to a
    classical addend; the erasure uses d = 1[(x+a) mod p < a]. *)
@@ -89,15 +104,20 @@ let modadd_const ?(mbu = false) spec b ~p ~a ~x =
   let n = Register.length x in
   check_modulus "Mod_add.modadd_const" ~p ~n;
   if a < 0 || a >= p then invalid_arg "Mod_add.modadd_const: need 0 <= a < p";
+  Builder.with_span b (span_label "modadd_const" ~mbu spec) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let xs = Register.extend x high in
-      Adder.add_const spec.q_add b ~a ~y:xs;
+      Builder.with_span b "modadd.add" (fun () ->
+          Adder.add_const spec.q_add b ~a ~y:xs);
       Builder.with_ancilla b (fun t ->
-          compare_with_modulus spec.q_comp_const b ~p ~sum:xs ~target:t;
-          Builder.x b t;
-          Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:t ~a:p ~y:xs;
-          uncompute ~mbu b ~garbage:t ~ug:(fun () ->
-              Adder.compare_const spec.q_comp b ~a ~x ~target:t)))
+          Builder.with_span b "modadd.comp_p" (fun () ->
+              compare_with_modulus spec.q_comp_const b ~p ~sum:xs ~target:t;
+              Builder.x b t);
+          Builder.with_span b "modadd.csub_p" (fun () ->
+              Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:t ~a:p ~y:xs);
+          Builder.with_span b "modadd.uncomp" (fun () ->
+              uncompute ~mbu b ~garbage:t ~ug:(fun () ->
+                  Adder.compare_const spec.q_comp b ~a ~x ~target:t))))
 
 (* Proposition 3.15 / theorem 4.11 (Takahashi): subtract p - a, re-add p
    under the sign qubit, erase the sign with one constant comparison and a
@@ -109,6 +129,7 @@ let modadd_const_takahashi ?(mbu = false) spec b ~p ~a ~x =
     invalid_arg "Mod_add.modadd_const_takahashi: need 0 <= a < p";
   if a = 0 then ()
   else
+    Builder.with_span b (span_label "modadd_const_tak" ~mbu spec) @@ fun () ->
     Builder.with_ancilla b (fun sign ->
         let xs = Register.extend x sign in
         Adder.sub_const spec.q_add b ~a:(p - a) ~y:xs;
@@ -126,6 +147,7 @@ let modadd_const_controlled ?(mbu = false) spec b ~ctrl ~p ~a ~x =
   check_modulus "Mod_add.modadd_const_controlled" ~p ~n;
   if a < 0 || a >= p then
     invalid_arg "Mod_add.modadd_const_controlled: need 0 <= a < p";
+  Builder.with_span b (span_label "cmodadd_const" ~mbu spec) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let xs = Register.extend x high in
       Adder.add_const_controlled spec.q_add b ~ctrl ~a ~y:xs;
@@ -142,6 +164,7 @@ let modadd_const_via_load ?(mbu = false) spec b ~p ~a ~x =
   check_modulus "Mod_add.modadd_const_via_load" ~p ~n;
   if a < 0 || a >= p then
     invalid_arg "Mod_add.modadd_const_via_load: need 0 <= a < p";
+  Builder.with_span b (span_label "modadd_const_load" ~mbu spec) @@ fun () ->
   Builder.with_ancilla_register b "ka" n (fun ka ->
       Adder.load_const b ~a ka;
       modadd ~mbu spec b ~p ~x:ka ~y:x;
@@ -164,6 +187,7 @@ let modadd_vbe_5adder ?(mbu = false) b ~p ~x ~y =
   if Register.length y <> n then
     invalid_arg "Mod_add.modadd_vbe_5adder: unequal lengths";
   check_modulus "Mod_add.modadd_vbe_5adder" ~p ~n;
+  Builder.with_span b (fixed_label "modadd_vbe5" ~mbu) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let ys = Register.extend y high in
       Adder_vbe.add b ~x ~y:ys;
@@ -193,6 +217,7 @@ let modadd_vbe_4adder ?(mbu = false) b ~p ~x ~y =
   if Register.length y <> n then
     invalid_arg "Mod_add.modadd_vbe_4adder: unequal lengths";
   check_modulus "Mod_add.modadd_vbe_4adder" ~p ~n;
+  Builder.with_span b (fixed_label "modadd_vbe4" ~mbu) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let ys = Register.extend y high in
       Adder_vbe.add b ~x ~y:ys;
@@ -217,6 +242,7 @@ let modadd_draper ?(mbu = false) b ~p ~x ~y =
   if Register.length y <> n then
     invalid_arg "Mod_add.modadd_draper: unequal lengths";
   check_modulus "Mod_add.modadd_draper" ~p ~n;
+  Builder.with_span b (fixed_label "modadd_draper" ~mbu) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let ys = Register.extend y high in
       Builder.with_ancilla b (fun t ->
@@ -248,6 +274,7 @@ let modadd_const_draper ?(mbu = false) b ~p ~a ~x =
   check_modulus "Mod_add.modadd_const_draper" ~p ~n;
   if a < 0 || a >= p then
     invalid_arg "Mod_add.modadd_const_draper: need 0 <= a < p";
+  Builder.with_span b (fixed_label "modadd_const_draper" ~mbu) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let xs = Register.extend x high in
       Builder.with_ancilla b (fun t ->
@@ -278,6 +305,7 @@ let modadd_const_controlled_draper ?(mbu = false) b ~ctrl ~p ~a ~x =
   check_modulus "Mod_add.modadd_const_controlled_draper" ~p ~n;
   if a < 0 || a >= p then
     invalid_arg "Mod_add.modadd_const_controlled_draper: need 0 <= a < p";
+  Builder.with_span b (fixed_label "cmodadd_const_draper" ~mbu) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let xs = Register.extend x high in
       Builder.with_ancilla b (fun t ->
@@ -307,6 +335,7 @@ let reduce ?(mbu = false) spec b ~p ~x ~flag =
   ignore mbu;
   let n = Register.length x - 1 in
   check_modulus "Mod_add.reduce" ~p ~n;
+  Builder.with_span b (span_label "modreduce" ~mbu:false spec) @@ fun () ->
   compare_with_modulus spec.q_comp_const b ~p ~sum:x ~target:flag;
   Builder.x b flag;
   Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:flag ~a:p ~y:x
@@ -317,6 +346,7 @@ let modsub ?(mbu = false) spec b ~p ~x ~y =
   let n = Register.length x in
   if Register.length y <> n then invalid_arg "Mod_add.modsub: unequal lengths";
   check_modulus "Mod_add.modsub" ~p ~n;
+  Builder.with_span b (span_label "modsub" ~mbu spec) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let ys = Register.extend y high in
       Builder.with_ancilla b (fun t ->
@@ -337,6 +367,7 @@ let modsub_const ?mbu spec b ~p ~a ~x =
 
 (* Figure 23: the double control collapses into one logical-AND ancilla. *)
 let modadd_const_double_controlled_draper ?(mbu = false) b ~ctrl1 ~ctrl2 ~p ~a ~x =
+  Builder.with_span b (fixed_label "ccmodadd_const_draper" ~mbu) @@ fun () ->
   Builder.with_ancilla b (fun g ->
       Logical_and.compute b ~c1:ctrl1 ~c2:ctrl2 ~target:g;
       modadd_const_controlled_draper ~mbu b ~ctrl:g ~p ~a ~x;
@@ -358,6 +389,7 @@ let modadd_big ?(mbu = false) spec b ~p ~x ~y =
   let n = Register.length x in
   if Register.length y <> n then invalid_arg "Mod_add.modadd_big: unequal lengths";
   check_modulus_big "Mod_add.modadd_big" ~p ~n;
+  Builder.with_span b (span_label "modadd_big" ~mbu spec) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let ys = Register.extend y high in
       Adder.add spec.q_add b ~x ~y:ys;
@@ -373,6 +405,7 @@ let modadd_controlled_big ?(mbu = false) spec b ~ctrl ~p ~x ~y =
   if Register.length y <> n then
     invalid_arg "Mod_add.modadd_controlled_big: unequal lengths";
   check_modulus_big "Mod_add.modadd_controlled_big" ~p ~n;
+  Builder.with_span b (span_label "cmodadd_big" ~mbu spec) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let ys = Register.extend y high in
       Adder.add_controlled spec.q_add b ~ctrl ~x ~y:ys;
@@ -390,6 +423,7 @@ let modadd_const_big ?(mbu = false) spec b ~p ~a ~x =
   let width = max (Bitstring.length a) (Bitstring.length p) in
   if not (Bitstring.lt (Bitstring.pad a width) (Bitstring.pad p width)) then
     invalid_arg "Mod_add.modadd_const_big: need a < p";
+  Builder.with_span b (span_label "modadd_const_big" ~mbu spec) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let xs = Register.extend x high in
       Adder_big.add_const spec.q_add b ~a ~y:xs;

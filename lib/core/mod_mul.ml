@@ -41,6 +41,7 @@ let check_mul name ~p ~x ~target =
    erases for free half the time. *)
 let cmult_gen engine b ~ctrl ~a ~p ~x ~target =
   check_mul "Mod_mul.cmult_add" ~p ~x ~target;
+  Builder.with_span b (Printf.sprintf "cmult[%s]" engine.name) @@ fun () ->
   let n = Register.length x in
   Builder.with_ancilla b (fun g ->
       (* a.2^i mod p by repeated doubling — no overflow for p < 2^61. *)
@@ -70,6 +71,7 @@ let controlled_swap b ~ctrl ~x ~t =
   done
 
 let cmult_inplace engine b ~ctrl ~a ~p ~x =
+  Builder.with_span b (Printf.sprintf "cmult_inplace[%s]" engine.name) @@ fun () ->
   let n = Register.length x in
   let a = ((a mod p) + p) mod p in
   let a_inv = modinv ~a ~p in
@@ -81,6 +83,7 @@ let cmult_inplace engine b ~ctrl ~a ~p ~x =
 let modexp engine b ~a ~p ~e ~x =
   if p >= 1 lsl 31 then
     invalid_arg "Mod_mul.modexp: modulus too large for exact squaring";
+  Builder.with_span b (Printf.sprintf "modexp[%s]" engine.name) @@ fun () ->
   let a = ((a mod p) + p) mod p in
   let ak = ref a in
   for j = 0 to Register.length e - 1 do
@@ -92,6 +95,10 @@ let cmult_add_windowed ?(window = 2) ?(mbu = true) spec b ~ctrl ~a ~p ~x ~target
   check_mul "Mod_mul.cmult_add_windowed" ~p ~x ~target;
   if window < 1 || window > 10 then
     invalid_arg "Mod_mul.cmult_add_windowed: window out of range";
+  Builder.with_span b
+    (Printf.sprintf "cmult_win%d[%s]%s" window (Mod_add.spec_name spec)
+       (if mbu then "+mbu" else ""))
+  @@ fun () ->
   let n = Register.length x in
   let a = ((a mod p) + p) mod p in
   (* a.2^i mod p by repeated doubling *)
@@ -129,6 +136,7 @@ let cmult_add_windowed ?(window = 2) ?(mbu = true) spec b ~ctrl ~a ~p ~x ~target
 
 let mult_add engine b ~a ~p ~x ~target =
   check_mul "Mod_mul.mult_add" ~p ~x ~target;
+  Builder.with_span b (Printf.sprintf "mult_add[%s]" engine.name) @@ fun () ->
   let n = Register.length x in
   let ai = ref (((a mod p) + p) mod p) in
   for i = 0 to n - 1 do
@@ -138,6 +146,7 @@ let mult_add engine b ~a ~p ~x ~target =
   done
 
 let mult_inplace engine b ~a ~p ~x =
+  Builder.with_span b (Printf.sprintf "mult_inplace[%s]" engine.name) @@ fun () ->
   let n = Register.length x in
   let a = ((a mod p) + p) mod p in
   let a_inv = modinv ~a ~p in
@@ -153,6 +162,7 @@ let mul_register engine b ~x ~y ~p ~target =
   check_mul "Mod_mul.mul_register" ~p ~x ~target;
   if Register.length y <> Register.length x then
     invalid_arg "Mod_mul.mul_register: unequal lengths";
+  Builder.with_span b (Printf.sprintf "mul_register[%s]" engine.name) @@ fun () ->
   let n = Register.length x in
   Builder.with_ancilla b (fun g ->
       let wi = ref 1 in
@@ -174,6 +184,7 @@ let mul_register engine b ~x ~y ~p ~target =
    the AND of both bits; the diagonal contributes 2^{2i} under x_i alone. *)
 let square_register engine b ~x ~p ~target =
   check_mul "Mod_mul.square_register" ~p ~x ~target;
+  Builder.with_span b (Printf.sprintf "square[%s]" engine.name) @@ fun () ->
   let n = Register.length x in
   let pow2 k =
     let rec go acc k = if k = 0 then acc else go (acc * 2 mod p) (k - 1) in
@@ -198,6 +209,7 @@ let square_register engine b ~x ~p ~target =
       done)
 
 let cmult_inplace_windowed ?window spec b ~ctrl ~a ~p ~x =
+  Builder.with_span b "cmult_inplace_win" @@ fun () ->
   let n = Register.length x in
   let a = ((a mod p) + p) mod p in
   let a_inv = modinv ~a ~p in
@@ -210,6 +222,7 @@ let cmult_inplace_windowed ?window spec b ~ctrl ~a ~p ~x =
 let modexp_windowed ?window spec b ~a ~p ~e ~x =
   if p >= 1 lsl 31 then
     invalid_arg "Mod_mul.modexp_windowed: modulus too large for exact squaring";
+  Builder.with_span b "modexp_win" @@ fun () ->
   let a = ((a mod p) + p) mod p in
   let ak = ref a in
   for j = 0 to Register.length e - 1 do

@@ -2,7 +2,7 @@ open Mbu_circuit
 
 (* Process qubits from the MSB down so that the lower qubits are still in the
    computational basis when used as controls. *)
-let apply b r =
+let apply_raw b r =
   let m = Register.length r in
   for i = m - 1 downto 0 do
     Builder.h b (Register.get r i);
@@ -12,7 +12,11 @@ let apply b r =
     done
   done
 
-let apply_inverse b r = Builder.emit_adjoint b (fun () -> apply b r)
+let apply b r = Builder.with_span b "qft" (fun () -> apply_raw b r)
+
+let apply_inverse b r =
+  Builder.with_span b "iqft" (fun () ->
+      Builder.emit_adjoint b (fun () -> apply_raw b r))
 let gate_counts m = Counts.qft_gates m
 
 let apply_approx b ~cutoff r =

@@ -36,6 +36,7 @@ let iterate b ~address f =
 
 let lookup b ~address ~target ~data =
   check "Qrom.lookup" ~address ~entries:(Array.length data);
+  Builder.with_span b "qrom.lookup" @@ fun () ->
   let w = Register.length target in
   iterate b ~address (fun ~ctrl ~address:a ->
       let v = data.(a) in
@@ -73,6 +74,7 @@ let onehot_unprepare b ~low_bits ~unary =
 let phase_lookup b ~address ~table =
   let k = Register.length address in
   check "Qrom.phase_lookup" ~address ~entries:(Array.length table);
+  Builder.with_span b "qrom.phase_lookup" @@ fun () ->
   let k_lo = k / 2 in
   let low_bits = Array.init k_lo (Register.get address) in
   let hi = Register.sub address ~pos:k_lo ~len:(k - k_lo) in
@@ -98,6 +100,7 @@ let phase_lookup b ~address ~table =
    by one phase lookup of that bit column. *)
 let unlookup b ~address ~target ~data =
   check "Qrom.unlookup" ~address ~entries:(Array.length data);
+  Builder.with_span b "qrom.unlookup" @@ fun () ->
   let w = Register.length target in
   for j = 0 to w - 1 do
     let tq = Register.get target j in

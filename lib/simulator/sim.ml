@@ -2,21 +2,32 @@ open Mbu_circuit
 
 type run = { state : State.t; bits : bool array; executed : Counts.t }
 
+type event =
+  | Gate_applied of Gate.t
+  | Measured of { qubit : Gate.qubit; bit : int; outcome : bool }
+  | Branch of { bit : int; value : bool; taken : bool }
+  | Span_enter of { label : string; path : string list }
+  | Span_exit of { label : string; path : string list }
+
 let default_rng = lazy (Random.State.make [| 0x6d62755f; 0x51432025 |])
 
-let run ?rng (c : Circuit.t) ~init =
+let run ?rng ?on_event (c : Circuit.t) ~init =
   let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
+  let fire =
+    match on_event with Some f -> f | None -> fun (_ : event) -> ()
+  in
   if State.num_qubits init < c.num_qubits then
     invalid_arg "Sim.run: state narrower than circuit";
   let bits = Array.make (max c.num_bits 1) false in
   let executed = ref Counts.zero in
   let state = ref init in
-  let rec exec = function
+  let rec exec path = function
     | [] -> ()
     | Instr.Gate g :: rest ->
         state := State.apply_gate !state g;
         executed := Counts.add !executed (Counts.of_gate g);
-        exec rest
+        fire (Gate_applied g);
+        exec path rest
     | Instr.Measure { qubit; bit; reset } :: rest ->
         let p1 = State.prob_bit_one !state qubit in
         let outcome =
@@ -28,12 +39,21 @@ let run ?rng (c : Circuit.t) ~init =
         state := State.project !state ~qubit ~value:outcome;
         if reset && outcome then state := State.set_bit_zero !state ~qubit;
         executed := Counts.add !executed { Counts.zero with measure = 1. };
-        exec rest
+        fire (Measured { qubit; bit; outcome });
+        exec path rest
     | Instr.If_bit { bit; value; body } :: rest ->
-        if bits.(bit) = value then exec body;
-        exec rest
+        let taken = bits.(bit) = value in
+        fire (Branch { bit; value; taken });
+        if taken then exec path body;
+        exec path rest
+    | Instr.Span { label; body; _ } :: rest ->
+        let spath = path @ [ label ] in
+        fire (Span_enter { label; path = spath });
+        exec spath body;
+        fire (Span_exit { label; path = spath });
+        exec path rest
   in
-  exec c.instrs;
+  exec [] c.instrs;
   { state = !state; bits; executed = !executed }
 
 let init_registers ~num_qubits assignments =
@@ -51,10 +71,51 @@ let init_registers ~num_qubits assignments =
     assignments;
   State.basis ~num_qubits !idx
 
-let run_builder ?rng b ~inits =
+let run_builder ?rng ?on_event b ~inits =
   let c = Builder.to_circuit b in
   let init = init_registers ~num_qubits:(Builder.num_qubits b) inits in
-  run ?rng c ~init
+  run ?rng ?on_event c ~init
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate branch / outcome statistics over Monte-Carlo runs *)
+
+type stats = {
+  mutable runs : int;
+  branch : (int, int * int) Hashtbl.t;  (* bit -> taken, seen *)
+  outcome : (int, int * int) Hashtbl.t;  (* bit -> ones, measured *)
+}
+
+let new_stats () = { runs = 0; branch = Hashtbl.create 16; outcome = Hashtbl.create 16 }
+
+let bump tbl key hit =
+  let a, b = Option.value (Hashtbl.find_opt tbl key) ~default:(0, 0) in
+  Hashtbl.replace tbl key ((if hit then a + 1 else a), b + 1)
+
+let stats_hook st = function
+  | Branch { bit; taken; _ } -> bump st.branch bit taken
+  | Measured { bit; outcome; _ } -> bump st.outcome bit outcome
+  | Gate_applied _ | Span_enter _ | Span_exit _ -> ()
+
+let record_run st = st.runs <- st.runs + 1
+let runs st = st.runs
+
+let freq = function
+  | _, 0 -> None
+  | taken, seen -> Some (float_of_int taken /. float_of_int seen)
+
+let bit_taken_frequency st bit =
+  Option.bind (Hashtbl.find_opt st.branch bit) (fun c -> freq c)
+
+let taken_frequency st =
+  let taken, seen =
+    Hashtbl.fold (fun _ (t, s) (at, as_) -> (at + t, as_ + s)) st.branch (0, 0)
+  in
+  freq (taken, seen)
+
+let measured_one_frequency st bit =
+  Option.bind (Hashtbl.find_opt st.outcome bit) (fun c -> freq c)
+
+let branch_bits st = Hashtbl.fold (fun k _ acc -> k :: acc) st.branch [] |> List.sort compare
 
 let register_value state reg =
   (* Accumulate from the MSB down so bit i lands at weight 2^i. *)

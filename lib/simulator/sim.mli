@@ -15,8 +15,25 @@ type run = {
   executed : Counts.t;  (** gates actually executed in this run *)
 }
 
-val run : ?rng:Random.State.t -> Circuit.t -> init:State.t -> run
-(** [rng] defaults to a fixed-seed generator (deterministic tests). *)
+(** Execution event, reported to the [?on_event] hook in program order.
+    [Branch] fires for every [If_bit] reached, taken or not — the raw
+    material for checking the paper's "each conditional fires with
+    probability 1/2" cost model empirically. Span events carry the full
+    label path from the root. *)
+type event =
+  | Gate_applied of Gate.t
+  | Measured of { qubit : Gate.qubit; bit : int; outcome : bool }
+  | Branch of { bit : int; value : bool; taken : bool }
+  | Span_enter of { label : string; path : string list }
+  | Span_exit of { label : string; path : string list }
+
+val run :
+  ?rng:Random.State.t -> ?on_event:(event -> unit) -> Circuit.t ->
+  init:State.t -> run
+(** [rng] defaults to a fixed-seed generator (deterministic tests).
+    [on_event] is called synchronously after each instruction executes
+    (and for each conditional block considered); it must not mutate the
+    run. *)
 
 val init_registers : num_qubits:int -> (Register.t * int) list -> State.t
 (** Basis state with each register holding the given unsigned value (LSB
@@ -24,8 +41,45 @@ val init_registers : num_qubits:int -> (Register.t * int) list -> State.t
     does not fit its register. *)
 
 val run_builder :
-  ?rng:Random.State.t -> Builder.t -> inits:(Register.t * int) list -> run
+  ?rng:Random.State.t -> ?on_event:(event -> unit) -> Builder.t ->
+  inits:(Register.t * int) list -> run
 (** Convert the builder to a circuit and run it on a basis initialization. *)
+
+(** {1 Monte-Carlo branch statistics}
+
+    A mutable tally designed to plug into [?on_event]:
+    {[
+      let st = Sim.new_stats () in
+      for _ = 1 to shots do
+        ignore (Sim.run ~rng ~on_event:(Sim.stats_hook st) c ~init);
+        Sim.record_run st
+      done;
+      (* Sim.taken_frequency st ≈ 0.5 for MBU circuits *)
+    ]} *)
+
+type stats
+
+val new_stats : unit -> stats
+
+val stats_hook : stats -> event -> unit
+(** Fold one event into the tally; pass [stats_hook st] as [on_event]. *)
+
+val record_run : stats -> unit
+val runs : stats -> int
+
+val taken_frequency : stats -> float option
+(** Fraction of all conditional blocks (across all bits and runs) that were
+    taken; [None] before any branch was seen. The paper's MBU cost model
+    predicts 0.5. *)
+
+val bit_taken_frequency : stats -> int -> float option
+(** Taken fraction for the conditionals guarded by one classical bit. *)
+
+val measured_one_frequency : stats -> int -> float option
+(** Fraction of measurements of the given bit that returned 1. *)
+
+val branch_bits : stats -> int list
+(** Classical bits that guarded at least one conditional, sorted. *)
 
 val register_value : State.t -> Register.t -> int option
 (** The register's value if it is definite across the whole superposition. *)
