@@ -668,6 +668,102 @@ let experiment_ablations () =
       ("via register load", Mod_add.modadd_const_via_load ~mbu:true Mod_add.spec_cdkpm) ]
 
 (* ------------------------------------------------------------------ *)
+(* E-SIM: simulator backend micro-benchmark (shots/sec, seed vs this PR) *)
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(* Shots/sec for one (engine, jobs) configuration on a prepared circuit. *)
+let shots_per_sec ?(engine = Mbu_simulator.Sim.Fast) ~jobs ~shots c ~init () =
+  let open Mbu_simulator in
+  (* warm-up shot so domain spawning / first allocation doesn't skew *)
+  ignore (Sim.run_shots ~engine ~jobs ~shots:1 c ~init);
+  let t0 = Unix.gettimeofday () in
+  ignore (Sim.run_shots ~engine ~jobs ~shots c ~init);
+  let dt = Unix.gettimeofday () -. t0 in
+  float_of_int shots /. Float.max dt 1e-9
+
+let experiment_sim_bench () =
+  let open Mbu_simulator in
+  header "E-SIM: simulator backends, Table-1 Monte-Carlo workload (shots/sec)";
+  let shots = 1000 in
+  let jobs = max 4 (Sim.default_jobs ()) in
+  fpf "  %d shots/config, parallel backend = %s, jobs = %d@." shots
+    Sim.parallel_backend jobs;
+  fpf "  %-15s | %3s | %12s | %12s | %12s | %8s@." "row" "n" "seed (ref)"
+    "fast seq"
+    (Printf.sprintf "fast j=%d" jobs)
+    "speedup";
+  (* The ripple-carry rows of table 1; Draper is excluded because its QFT
+     makes the state dense (2^(n+1) terms at n = 16), which is a different
+     workload from the permutation-dominated Monte-Carlo the tables use.
+     Rows whose total width would exceed the simulator's 62-qubit cap at
+     n = 16 run at the largest n that fits (shown in the n column). *)
+  let sim_rows =
+    [ ("(5 adder) VBE", 15,
+       fun b ~p ~x ~y -> Mod_add.modadd_vbe_5adder ~mbu:true b ~p ~x ~y);
+      ("(4 adder) VBE", 15,
+       fun b ~p ~x ~y -> Mod_add.modadd_vbe_4adder ~mbu:true b ~p ~x ~y);
+      ("CDKPM", 16,
+       fun b ~p ~x ~y -> Mod_add.modadd ~mbu:true Mod_add.spec_cdkpm b ~p ~x ~y);
+      ("Gidney", 14,
+       fun b ~p ~x ~y -> Mod_add.modadd ~mbu:true Mod_add.spec_gidney b ~p ~x ~y);
+      ("CDKPM+Gidney", 16,
+       fun b ~p ~x ~y -> Mod_add.modadd ~mbu:true Mod_add.spec_mixed b ~p ~x ~y) ]
+  in
+  let rows =
+    List.map
+      (fun (name, n, build) ->
+        let p = modulus n in
+        let b = Builder.create () in
+        let x = Builder.fresh_register b "x" n in
+        let y = Builder.fresh_register b "y" n in
+        build b ~p ~x ~y;
+        let c = Builder.to_circuit b in
+        let init =
+          Sim.init_registers ~num_qubits:(Builder.num_qubits b)
+            [ (x, 17 mod p); (y, 25 mod p) ]
+        in
+        let reference =
+          shots_per_sec ~engine:Sim.Reference ~jobs:1 ~shots c ~init ()
+        in
+        let fast_seq = shots_per_sec ~jobs:1 ~shots c ~init () in
+        let fast_par = shots_per_sec ~jobs ~shots c ~init () in
+        let best = Float.max fast_seq fast_par in
+        fpf "  %-15s | %3d | %12.0f | %12.0f | %12.0f | %7.1fx@." name n
+          reference fast_seq fast_par (best /. reference);
+        (name, n, reference, fast_seq, fast_par))
+      sim_rows
+  in
+  (* machine-readable output for the CI artifact and the README table *)
+  let oc = open_out "BENCH_sim.json" in
+  Printf.fprintf oc "{\n  \"workload\": \"table1-modadd-montecarlo\",\n";
+  Printf.fprintf oc "  \"shots\": %d,\n" shots;
+  Printf.fprintf oc "  \"parallel_backend\": %S,\n  \"jobs\": %d,\n"
+    Sim.parallel_backend jobs;
+  Printf.fprintf oc "  \"rows\": [\n";
+  List.iteri
+    (fun i (name, n, reference, fast_seq, fast_par) ->
+      Printf.fprintf oc
+        "    {\"row\": \"%s\", \"n\": %d, \"seed_shots_per_sec\": %.1f, \
+         \"fast_seq_shots_per_sec\": %.1f, \"fast_par_shots_per_sec\": %.1f, \
+         \"speedup\": %.2f}%s\n"
+        (json_escape name) n reference fast_seq fast_par
+        (Float.max fast_seq fast_par /. reference)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  fpf "  (seed = rebuild-per-gate Reference engine; fast = classical track@.";
+  fpf "   + in-place sparse kernel; written to BENCH_sim.json)@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benchmarks *)
 
 let bechamel_tests () =
@@ -842,6 +938,13 @@ let report_phase_times () =
   fpf "  %-20s %10.3f@." "total" total
 
 let () =
+  (* `--sim-only` runs just the simulator micro-bench (CI benchmark smoke). *)
+  if Array.exists (String.equal "--sim-only") Sys.argv then begin
+    timed "sim_bench" experiment_sim_bench;
+    report_phase_times ();
+    fpf "@.done.@.";
+    exit 0
+  end;
   timed "table1" table1;
   timed "table1_big" table1_big;
   timed "table2" table2;
@@ -861,6 +964,7 @@ let () =
   timed "depth" experiment_depth;
   timed "ft" experiment_ft;
   timed "ablations" experiment_ablations;
+  timed "sim_bench" experiment_sim_bench;
   timed "bechamel" run_bechamel;
   report_phase_times ();
   fpf "@.done.@."

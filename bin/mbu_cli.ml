@@ -280,7 +280,8 @@ let qasm_cmd =
   Cmd.v (Cmd.info "qasm" ~doc:"Export a circuit as OpenQASM 3.") term
 
 let profile_cmd =
-  let run circuit style_s mbu n p a mode json shots max_depth no_merge seed =
+  let run circuit style_s mbu n p a mode json shots jobs max_depth no_merge seed
+      =
     (* The profile subcommand also accepts the paper's mixed Gidney+CDKPM
        spec (theorem 3.6) as a pseudo-style. *)
     let circuit, style =
@@ -317,14 +318,15 @@ let profile_cmd =
       if shots > 0 then begin
         let open Mbu_simulator in
         let st = Sim.new_stats () in
-        let rng = Random.State.make [| seed |] in
         let init =
           Sim.init_registers ~num_qubits:(Builder.num_qubits builder) inits
         in
-        for _ = 1 to shots do
-          ignore (Sim.run ~rng ~on_event:(Sim.stats_hook st) c ~init);
-          Sim.record_run st
-        done;
+        let jobs =
+          match jobs with Some j -> j | None -> Sim.default_jobs ()
+        in
+        let t0 = Unix.gettimeofday () in
+        ignore (Sim.run_shots ~seed ~jobs ~stats:st ~shots c ~init);
+        let dt = Unix.gettimeofday () -. t0 in
         let modelled =
           match mode with
           | Counts.Expected pr -> Printf.sprintf "%g" pr
@@ -332,6 +334,9 @@ let profile_cmd =
           | Counts.Best -> "0, best"
         in
         Format.printf "@.";
+        Format.printf "simulator   : %s backend, jobs = %d, %.0f shots/sec@."
+          Sim.parallel_backend jobs
+          (float_of_int shots /. Float.max dt 1e-9);
         (match Sim.taken_frequency st with
         | None ->
             Format.printf "branches    : none reached over %d shots@." shots
@@ -373,6 +378,13 @@ let profile_cmd =
              ~doc:"Also Monte-Carlo the circuit this many times and report \
                    empirical conditional-branch frequencies.")
   in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ] ~docv:"JOBS"
+             ~doc:"Worker domains for the Monte-Carlo shots (default: the \
+                   runtime's recommended count; outcomes are deterministic \
+                   and independent of JOBS).")
+  in
   let max_depth_arg =
     Arg.(value & opt (some int) None
          & info [ "max-depth" ] ~doc:"Prune the span tree below this depth.")
@@ -385,8 +397,8 @@ let profile_cmd =
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
   let term =
     Term.(const run $ circuit_arg $ style_arg $ mbu_arg $ n_arg $ p_arg $ a_arg
-          $ mode_arg $ json_arg $ shots_arg $ max_depth_arg $ no_merge_arg
-          $ seed_arg)
+          $ mode_arg $ json_arg $ shots_arg $ jobs_arg $ max_depth_arg
+          $ no_merge_arg $ seed_arg)
   in
   Cmd.v
     (Cmd.info "profile"

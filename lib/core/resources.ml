@@ -44,19 +44,26 @@ let measure ?(mode = Counts.Expected 0.5) ~n ~build () =
     total_depth = d.Depth.total;
     toffoli_depth = d.Depth.toffoli }
 
-let monte_carlo_toffoli ?(shots = 400) ?rng ~build () =
-  let rng =
-    match rng with Some r -> r | None -> Random.State.make [| 0xbca; 77 |]
-  in
+let monte_carlo_toffoli ?(shots = 400) ?rng ?(seed = 0xbca) ?jobs ~build () =
   let b = Builder.create () in
   let inits = build b in
   let circuit = Builder.to_circuit b in
   let init =
     Mbu_simulator.Sim.init_registers ~num_qubits:(Builder.num_qubits b) inits
   in
-  let total = ref 0. in
-  for _ = 1 to shots do
-    let r = Mbu_simulator.Sim.run ~rng circuit ~init in
-    total := !total +. r.Mbu_simulator.Sim.executed.Counts.toffoli
-  done;
-  !total /. float_of_int shots
+  match rng with
+  | Some rng ->
+      (* Legacy path: one caller-owned generator shared across shots. *)
+      let total = ref 0. in
+      for _ = 1 to shots do
+        let r = Mbu_simulator.Sim.run ~rng circuit ~init in
+        total := !total +. r.Mbu_simulator.Sim.executed.Counts.toffoli
+      done;
+      !total /. float_of_int shots
+  | None ->
+      let runs = Mbu_simulator.Sim.run_shots ~seed ?jobs ~shots circuit ~init in
+      Array.fold_left
+        (fun acc (r : Mbu_simulator.Sim.run) ->
+          acc +. r.Mbu_simulator.Sim.executed.Counts.toffoli)
+        0. runs
+      /. float_of_int shots

@@ -33,7 +33,13 @@ val measure :
 val monte_carlo_toffoli :
   ?shots:int ->
   ?rng:Random.State.t ->
+  ?seed:int ->
+  ?jobs:int ->
   build:(Builder.t -> (Mbu_circuit.Register.t * int) list) -> unit -> float
 (** Average {e executed} Toffoli count over simulator runs: [build] returns
     the register initialization; measurement outcomes vary per shot. Used to
-    validate that the analytic "in expectation" numbers are the true mean. *)
+    validate that the analytic "in expectation" numbers are the true mean.
+    Without [?rng] the shots go through the parallel multi-shot runner with
+    deterministic per-shot seeds derived from [seed] ([jobs] defaults to
+    {!Mbu_simulator.Sim.default_jobs}); passing [?rng] keeps the legacy
+    sequential shared-generator path. *)

@@ -1,0 +1,25 @@
+(** Task fan-out for the multi-shot runner.
+
+    The implementation is selected at build time: on OCaml >= 5.0 tasks are
+    spread across [Domain]s; on 4.14 the same API runs everything
+    sequentially on the calling thread. Callers must make [f] results
+    independent of execution order (the shot runner does this by deriving
+    each shot's RNG from the shot index), so output is identical whichever
+    implementation — and whatever [jobs] — is used. *)
+
+val backend : string
+(** ["domains"] or ["sequential"], for display and benchmark metadata. *)
+
+val is_parallel : bool
+(** Whether [map_tasks] can actually run tasks concurrently. *)
+
+val default_jobs : unit -> int
+(** Recommended fan-out: the domain count the runtime suggests on OCaml 5,
+    1 on the sequential fallback. *)
+
+val map_tasks : jobs:int -> tasks:int -> (int -> 'a) -> 'a array
+(** [map_tasks ~jobs ~tasks f] computes [f i] for every [i] in
+    [0 .. tasks-1] using at most [jobs] workers and returns the results in
+    index order. [f] must be safe to call from another domain (no shared
+    mutable state). Exceptions raised by any task are re-raised after all
+    workers finish. *)

@@ -9,59 +9,140 @@ type event =
   | Span_enter of { label : string; path : string list }
   | Span_exit of { label : string; path : string list }
 
-let default_rng = lazy (Random.State.make [| 0x6d62755f; 0x51432025 |])
+type engine = Fast | Sparse | Reference
 
-let run ?rng ?on_event (c : Circuit.t) ~init =
-  let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
-  let fire =
-    match on_event with Some f -> f | None -> fun (_ : event) -> ()
-  in
+(* Every [run] without [?rng] gets its own freshly seeded generator: a
+   shared global would make results depend on how many unseeded runs
+   happened earlier in the process (test execution order, REPL history). *)
+let default_seed = [| 0x6d62755f; 0x51432025 |]
+let fresh_rng () = Random.State.make default_seed
+
+(* Deterministic per-shot split: shot [i] of a multi-shot run draws from a
+   generator derived only from the caller's seed and the shot index, so the
+   outcome of shot [i] does not depend on the other shots — which is what
+   makes the parallel runner's output independent of [jobs]. *)
+let shot_rng ~seed i = Random.State.make [| 0x6d62755f; 0x51432025; seed; i |]
+
+let draw_outcome rng p1 =
+  if p1 <= 1e-12 then false
+  else if p1 >= 1.0 -. 1e-12 then true
+  else Random.State.float rng 1.0 < p1
+
+(* Mutable gate tally for the run loop: integer bumps instead of a fresh
+   Counts.t record per gate. *)
+type tally = {
+  mutable t_x : int;
+  mutable t_z : int;
+  mutable t_h : int;
+  mutable t_phase : int;
+  mutable t_cnot : int;
+  mutable t_cz : int;
+  mutable t_swap : int;
+  mutable t_toffoli : int;
+  mutable t_cphase : int;
+  mutable t_measure : int;
+}
+
+let tally_gate t = function
+  | Gate.X _ -> t.t_x <- t.t_x + 1
+  | Gate.Z _ -> t.t_z <- t.t_z + 1
+  | Gate.H _ -> t.t_h <- t.t_h + 1
+  | Gate.Phase _ -> t.t_phase <- t.t_phase + 1
+  | Gate.Cnot _ -> t.t_cnot <- t.t_cnot + 1
+  | Gate.Cz _ -> t.t_cz <- t.t_cz + 1
+  | Gate.Swap _ -> t.t_swap <- t.t_swap + 1
+  | Gate.Toffoli _ -> t.t_toffoli <- t.t_toffoli + 1
+  | Gate.Cphase _ -> t.t_cphase <- t.t_cphase + 1
+
+let counts_of_tally t =
+  { Counts.x = float_of_int t.t_x;
+    z = float_of_int t.t_z;
+    h = float_of_int t.t_h;
+    phase = float_of_int t.t_phase;
+    cnot = float_of_int t.t_cnot;
+    cz = float_of_int t.t_cz;
+    swap = float_of_int t.t_swap;
+    toffoli = float_of_int t.t_toffoli;
+    cphase = float_of_int t.t_cphase;
+    measure = float_of_int t.t_measure }
+
+let run ?rng ?on_event ?(engine = Fast) (c : Circuit.t) ~init =
+  let rng = match rng with Some r -> r | None -> fresh_rng () in
   if State.num_qubits init < c.num_qubits then
     invalid_arg "Sim.run: state narrower than circuit";
   let bits = Array.make (max c.num_bits 1) false in
-  let executed = ref Counts.zero in
-  let state = ref init in
+  let executed =
+    { t_x = 0; t_z = 0; t_h = 0; t_phase = 0; t_cnot = 0; t_cz = 0;
+      t_swap = 0; t_toffoli = 0; t_cphase = 0; t_measure = 0 }
+  in
+  (* The runner owns a private copy, so the fast engines can mutate it in
+     place; [Sparse] and [Reference] pin it to the sparse track. *)
+  let state = ref (State.copy init) in
+  if engine <> Fast then State.force_sparse !state;
+  let apply_gate g =
+    match engine with
+    | Fast | Sparse -> State.apply_gate_inplace !state g
+    | Reference -> state := State.Reference.apply_gate !state g
+  in
+  let project ~qubit ~value =
+    match engine with
+    | Fast | Sparse -> State.project_inplace !state ~qubit ~value
+    | Reference -> state := State.Reference.project !state ~qubit ~value
+  in
+  let set_bit_zero ~qubit =
+    match engine with
+    | Fast | Sparse -> State.set_bit_zero_inplace !state ~qubit
+    | Reference -> state := State.Reference.set_bit_zero !state ~qubit
+  in
+  (* Allocate event blocks only when a hook is installed. *)
   let rec exec path = function
     | [] -> ()
     | Instr.Gate g :: rest ->
-        state := State.apply_gate !state g;
-        executed := Counts.add !executed (Counts.of_gate g);
-        fire (Gate_applied g);
+        apply_gate g;
+        tally_gate executed g;
+        (match on_event with Some f -> f (Gate_applied g) | None -> ());
         exec path rest
     | Instr.Measure { qubit; bit; reset } :: rest ->
         let p1 = State.prob_bit_one !state qubit in
-        let outcome =
-          if p1 <= 1e-12 then false
-          else if p1 >= 1.0 -. 1e-12 then true
-          else Random.State.float rng 1.0 < p1
-        in
+        let outcome = draw_outcome rng p1 in
         bits.(bit) <- outcome;
-        state := State.project !state ~qubit ~value:outcome;
-        if reset && outcome then state := State.set_bit_zero !state ~qubit;
-        executed := Counts.add !executed { Counts.zero with measure = 1. };
-        fire (Measured { qubit; bit; outcome });
+        project ~qubit ~value:outcome;
+        if reset && outcome then set_bit_zero ~qubit;
+        executed.t_measure <- executed.t_measure + 1;
+        (match on_event with
+        | Some f -> f (Measured { qubit; bit; outcome })
+        | None -> ());
         exec path rest
     | Instr.If_bit { bit; value; body } :: rest ->
         let taken = bits.(bit) = value in
-        fire (Branch { bit; value; taken });
+        (match on_event with
+        | Some f -> f (Branch { bit; value; taken })
+        | None -> ());
         if taken then exec path body;
         exec path rest
     | Instr.Span { label; body; _ } :: rest ->
-        let spath = path @ [ label ] in
-        fire (Span_enter { label; path = spath });
-        exec spath body;
-        fire (Span_exit { label; path = spath });
+        (match on_event with
+        | Some f ->
+            let spath = path @ [ label ] in
+            f (Span_enter { label; path = spath });
+            exec spath body;
+            f (Span_exit { label; path = spath })
+        | None -> exec path body);
         exec path rest
   in
   exec [] c.instrs;
-  { state = !state; bits; executed = !executed }
+  { state = !state; bits; executed = counts_of_tally executed }
 
 let init_registers ~num_qubits assignments =
   let idx = ref 0 in
   List.iter
     (fun (reg, v) ->
       let n = Register.length reg in
-      if v < 0 || (n < 62 && v >= 1 lsl n) then
+      (* [v lsr n] instead of [v >= 1 lsl n]: the latter overflows for wide
+         registers, and the seed guard silently skipped validation whenever
+         [n >= 62]. Shifts of [Sys.int_size] or more are unspecified, but a
+         register that wide holds any non-negative int. *)
+      if v < 0 || (n < Sys.int_size && v lsr n <> 0) then
         invalid_arg
           (Printf.sprintf "Sim.init_registers: %d does not fit %s"
              v (Register.name reg));
@@ -71,10 +152,10 @@ let init_registers ~num_qubits assignments =
     assignments;
   State.basis ~num_qubits !idx
 
-let run_builder ?rng ?on_event b ~inits =
+let run_builder ?rng ?on_event ?engine b ~inits =
   let c = Builder.to_circuit b in
   let init = init_registers ~num_qubits:(Builder.num_qubits b) inits in
-  run ?rng ?on_event c ~init
+  run ?rng ?on_event ?engine c ~init
 
 (* ------------------------------------------------------------------ *)
 (* Aggregate branch / outcome statistics over Monte-Carlo runs *)
@@ -99,6 +180,18 @@ let stats_hook st = function
 let record_run st = st.runs <- st.runs + 1
 let runs st = st.runs
 
+let merge_stats ~into src =
+  into.runs <- into.runs + src.runs;
+  let merge dst tbl =
+    Hashtbl.iter
+      (fun k (a, b) ->
+        let a0, b0 = Option.value (Hashtbl.find_opt dst k) ~default:(0, 0) in
+        Hashtbl.replace dst k (a0 + a, b0 + b))
+      tbl
+  in
+  merge into.branch src.branch;
+  merge into.outcome src.outcome
+
 let freq = function
   | _, 0 -> None
   | taken, seen -> Some (float_of_int taken /. float_of_int seen)
@@ -116,6 +209,42 @@ let measured_one_frequency st bit =
   Option.bind (Hashtbl.find_opt st.outcome bit) (fun c -> freq c)
 
 let branch_bits st = Hashtbl.fold (fun k _ acc -> k :: acc) st.branch [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Parallel multi-shot runner *)
+
+let default_jobs = Parallel.default_jobs
+let parallel_backend = Parallel.backend
+
+let run_shots ?(seed = 0) ?jobs ?stats ?(engine = Fast) ~shots c ~init =
+  if shots < 0 then invalid_arg "Sim.run_shots: negative shot count";
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+  in
+  let collect = Option.is_some stats in
+  let shot i =
+    let rng = shot_rng ~seed i in
+    if collect then begin
+      let st = new_stats () in
+      let r = run ~rng ~on_event:(stats_hook st) ~engine c ~init in
+      record_run st;
+      (r, Some st)
+    end
+    else (run ~rng ~engine c ~init, None)
+  in
+  let results = Parallel.map_tasks ~jobs ~tasks:shots shot in
+  (match stats with
+  | Some acc ->
+      Array.iter
+        (fun (_, st) -> Option.iter (fun st -> merge_stats ~into:acc st) st)
+        results
+  | None -> ());
+  Array.map fst results
+
+let run_shots_builder ?seed ?jobs ?stats ?engine ~shots b ~inits =
+  let c = Builder.to_circuit b in
+  let init = init_registers ~num_qubits:(Builder.num_qubits b) inits in
+  run_shots ?seed ?jobs ?stats ?engine ~shots c ~init
 
 let register_value state reg =
   (* Accumulate from the MSB down so bit i lands at weight 2^i. *)
@@ -152,29 +281,52 @@ let wires_zero state ~except =
   in
   check 0
 
-let sample_register ?rng ~shots c ~init reg =
-  let rng = match rng with Some r -> r | None -> Lazy.force default_rng in
-  let tally = Hashtbl.create 16 in
-  for _ = 1 to shots do
-    let r = run ~rng c ~init in
-    (* sample each register qubit by measuring the final state *)
-    let state = ref r.state in
-    let v = ref 0 in
-    for i = Register.length reg - 1 downto 0 do
-      let q = Register.get reg i in
-      let p1 = State.prob_bit_one !state q in
-      let bit =
-        if p1 <= 1e-12 then false
-        else if p1 >= 1. -. 1e-12 then true
-        else Random.State.float rng 1.0 < p1
-      in
-      state := State.project !state ~qubit:q ~value:bit;
-      v := (!v lsl 1) lor (if bit then 1 else 0)
-    done;
-    Hashtbl.replace tally !v (1 + Option.value (Hashtbl.find_opt tally !v) ~default:0)
+(* Sample one register value from a final state, consuming the given rng.
+   Mutates [state] (the caller passes a run-private state). *)
+let measure_register rng state reg =
+  let v = ref 0 in
+  for i = Register.length reg - 1 downto 0 do
+    let q = Register.get reg i in
+    let p1 = State.prob_bit_one state q in
+    let bit = draw_outcome rng p1 in
+    State.project_inplace state ~qubit:q ~value:bit;
+    v := (!v lsl 1) lor (if bit then 1 else 0)
   done;
+  !v
+
+let tally_of_values values =
+  let tally = Hashtbl.create 16 in
+  Array.iter
+    (fun v ->
+      Hashtbl.replace tally v
+        (1 + Option.value (Hashtbl.find_opt tally v) ~default:0))
+    values;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (va, a) (vb, b) ->
+         if a <> b then compare b a else compare va vb)
+
+let sample_register ?rng ?(seed = 0) ?jobs ~shots c ~init reg =
+  match rng with
+  | Some rng ->
+      (* Legacy sequential path: a caller-supplied generator is shared
+         across shots, so the shots must run in order on one thread. *)
+      let values = Array.make shots 0 in
+      for i = 0 to shots - 1 do
+        let r = run ~rng c ~init in
+        values.(i) <- measure_register rng r.state reg
+      done;
+      tally_of_values values
+  | None ->
+      let jobs =
+        match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+      in
+      let values =
+        Parallel.map_tasks ~jobs ~tasks:shots (fun i ->
+            let rng = shot_rng ~seed i in
+            let r = run ~rng c ~init in
+            measure_register rng r.state reg)
+      in
+      tally_of_values values
 
 let unitary_column (c : Circuit.t) j =
   if not (Circuit.is_unitary c) then

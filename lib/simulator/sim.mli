@@ -5,7 +5,11 @@
     Besides the final state it reports the classical outcome bits and the
     gate counts that were {e actually executed} — conditional blocks counted
     only when taken — which is what the Monte-Carlo validation of the
-    paper's "in expectation" costs averages over. *)
+    paper's "in expectation" costs averages over.
+
+    The runner works on a private copy of the initial state, so it can use
+    the in-place state kernels; the caller's [init] is never mutated and can
+    be shared across shots. *)
 
 open Mbu_circuit
 
@@ -27,33 +31,46 @@ type event =
   | Span_enter of { label : string; path : string list }
   | Span_exit of { label : string; path : string list }
 
+(** Which state backend executes the circuit. All three draw measurement
+    outcomes from the same RNG stream and agree on every run (the
+    backend-equivalence property tests enforce this); they differ only in
+    speed.
+
+    - [Fast] (default): classical track for single-basis-vector states
+      (O(1) permutation gates, zero allocation) with automatic promotion to
+      the in-place sparse kernel under superposition and demotion back.
+    - [Sparse]: pin the state to the in-place sparse kernel for the whole
+      run, even where the classical track would apply.
+    - [Reference]: the seed simulator's pure rebuild-per-gate algorithms —
+      the oracle for equivalence tests and the benchmark baseline. *)
+type engine = Fast | Sparse | Reference
+
 val run :
-  ?rng:Random.State.t -> ?on_event:(event -> unit) -> Circuit.t ->
-  init:State.t -> run
-(** [rng] defaults to a fixed-seed generator (deterministic tests).
-    [on_event] is called synchronously after each instruction executes
-    (and for each conditional block considered); it must not mutate the
-    run. *)
+  ?rng:Random.State.t -> ?on_event:(event -> unit) -> ?engine:engine ->
+  Circuit.t -> init:State.t -> run
+(** [rng] defaults to a {e freshly seeded} deterministic generator per call:
+    two unseeded runs of the same circuit give the same outcomes, and an
+    unseeded run never perturbs later ones. [on_event] is called
+    synchronously after each instruction executes (and for each conditional
+    block considered); it must not mutate the run. *)
 
 val init_registers : num_qubits:int -> (Register.t * int) list -> State.t
 (** Basis state with each register holding the given unsigned value (LSB
     first); unlisted wires start at |0>. Raises [Invalid_argument] if a value
-    does not fit its register. *)
+    does not fit its register — including registers of 62 bits and wider,
+    which the seed guard skipped. *)
 
 val run_builder :
-  ?rng:Random.State.t -> ?on_event:(event -> unit) -> Builder.t ->
-  inits:(Register.t * int) list -> run
+  ?rng:Random.State.t -> ?on_event:(event -> unit) -> ?engine:engine ->
+  Builder.t -> inits:(Register.t * int) list -> run
 (** Convert the builder to a circuit and run it on a basis initialization. *)
 
 (** {1 Monte-Carlo branch statistics}
 
-    A mutable tally designed to plug into [?on_event]:
+    A mutable tally designed to plug into [?on_event] or {!run_shots}:
     {[
       let st = Sim.new_stats () in
-      for _ = 1 to shots do
-        ignore (Sim.run ~rng ~on_event:(Sim.stats_hook st) c ~init);
-        Sim.record_run st
-      done;
+      ignore (Sim.run_shots ~stats:st ~shots:400 c ~init);
       (* Sim.taken_frequency st ≈ 0.5 for MBU circuits *)
     ]} *)
 
@@ -66,6 +83,10 @@ val stats_hook : stats -> event -> unit
 
 val record_run : stats -> unit
 val runs : stats -> int
+
+val merge_stats : into:stats -> stats -> unit
+(** Add the counters of the second tally into [into]. Used by the parallel
+    runner to combine per-shot tallies; merging is order-independent. *)
 
 val taken_frequency : stats -> float option
 (** Fraction of all conditional blocks (across all bits and runs) that were
@@ -81,6 +102,31 @@ val measured_one_frequency : stats -> int -> float option
 val branch_bits : stats -> int list
 (** Classical bits that guarded at least one conditional, sorted. *)
 
+(** {1 Parallel multi-shot runner} *)
+
+val default_jobs : unit -> int
+(** The fan-out {!run_shots} uses when [?jobs] is omitted: the runtime's
+    recommended domain count on OCaml 5, 1 on the sequential fallback. *)
+
+val parallel_backend : string
+(** ["domains"] or ["sequential"] — which {!Parallel} implementation this
+    binary was built with. *)
+
+val run_shots :
+  ?seed:int -> ?jobs:int -> ?stats:stats -> ?engine:engine -> shots:int ->
+  Circuit.t -> init:State.t -> run array
+(** Run the circuit [shots] times and return the runs in shot order. Shot
+    [i] draws its outcomes from a generator derived only from [seed] and
+    [i], so the result array (states, bits, executed counts) is identical
+    for every [jobs] value — shots are merely evaluated concurrently across
+    domains when the runtime supports it. When [stats] is given, each
+    shot's branch/outcome events are tallied and merged into it (equivalent
+    to running sequentially with [stats_hook]). *)
+
+val run_shots_builder :
+  ?seed:int -> ?jobs:int -> ?stats:stats -> ?engine:engine -> shots:int ->
+  Builder.t -> inits:(Register.t * int) list -> run array
+
 val register_value : State.t -> Register.t -> int option
 (** The register's value if it is definite across the whole superposition. *)
 
@@ -91,12 +137,16 @@ val wires_zero : State.t -> except:Register.t list -> bool
     the "all ancillas correctly uncomputed" check. *)
 
 val sample_register :
-  ?rng:Random.State.t ->
+  ?rng:Random.State.t -> ?seed:int -> ?jobs:int ->
   shots:int -> Mbu_circuit.Circuit.t -> init:State.t -> Mbu_circuit.Register.t ->
   (int * int) list
 (** Run the circuit [shots] times and, for each run, sample the register in
     the computational basis from the final state; returns
-    (value, occurrences) sorted by decreasing count. *)
+    (value, occurrences) sorted by decreasing count (ties by value). With
+    [?rng] the legacy sequential path shares the generator across shots;
+    without it each shot is independently seeded from [seed] and the shot
+    index and the shots may run in parallel ([jobs] defaults to
+    {!default_jobs}), with [jobs]-independent output. *)
 
 val unitary_column : Circuit.t -> int -> State.t
 (** [unitary_column c j] is [U |j>] for a measurement-free circuit — column

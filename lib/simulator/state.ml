@@ -1,6 +1,26 @@
 open Mbu_circuit
 
-type t = { num_qubits : int; amps : (int, Complex.t) Hashtbl.t }
+(* Two representations ("tracks"):
+
+   - [Classical]: a single basis vector stored as a plain [int] plus its
+     (global-phase) amplitude. X / CNOT / Toffoli / Swap are O(1) bit
+     twiddles with zero allocation; diagonal gates multiply the amplitude.
+     MBU circuits are overwhelmingly in this regime.
+   - [Sparse]: the general finite map from basis index to amplitude.
+     Permutation and diagonal gates mutate the table in place; only H
+     double-buffers into a fresh table.
+
+   H on a classical state promotes to sparse; whenever a sparse table
+   collapses back to a single term (H recombination, projection, reset) the
+   state demotes back to classical — unless [pinned] was set, which keeps a
+   state on the sparse track so tests and benchmarks can exercise the sparse
+   kernel on circuits that would otherwise stay classical. *)
+
+type repr =
+  | Classical of { mutable idx : int; mutable amp : Complex.t }
+  | Sparse of (int, Complex.t) Hashtbl.t
+
+type t = { num_qubits : int; mutable repr : repr; mutable pinned : bool }
 
 let eps = 1e-12
 let num_qubits s = s.num_qubits
@@ -12,132 +32,297 @@ let check_range ~num_qubits idx =
 
 let basis ~num_qubits idx =
   check_range ~num_qubits idx;
-  let amps = Hashtbl.create 16 in
-  Hashtbl.replace amps idx Complex.one;
-  { num_qubits; amps }
+  { num_qubits; repr = Classical { idx; amp = Complex.one }; pinned = false }
+
+let maybe_demote s =
+  if not s.pinned then
+    match s.repr with
+    | Classical _ -> ()
+    | Sparse tbl ->
+        if Hashtbl.length tbl = 1 then
+          Hashtbl.iter (fun k v -> s.repr <- Classical { idx = k; amp = v }) tbl
 
 let of_alist ~num_qubits l =
-  let amps = Hashtbl.create (List.length l) in
+  let amps = Hashtbl.create (max 16 (List.length l)) in
   List.iter
     (fun (idx, a) ->
       check_range ~num_qubits idx;
       if Hashtbl.mem amps idx then invalid_arg "State.of_alist: repeated index";
       Hashtbl.replace amps idx a)
     l;
-  { num_qubits; amps }
+  let s = { num_qubits; repr = Sparse amps; pinned = false } in
+  maybe_demote s;
+  s
+
+let iter_amps s f =
+  match s.repr with
+  | Classical { idx; amp } -> f idx amp
+  | Sparse tbl -> Hashtbl.iter f tbl
 
 let to_alist s =
-  Hashtbl.fold (fun k v acc -> if Complex.norm v > eps then (k, v) :: acc else acc)
-    s.amps []
-  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  let acc = ref [] in
+  iter_amps s (fun k v -> if Complex.norm v > eps then acc := (k, v) :: !acc);
+  List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) !acc
 
 let num_terms s = List.length (to_alist s)
 
-let norm2 s = Hashtbl.fold (fun _ v acc -> acc +. Complex.norm2 v) s.amps 0.
+let norm2 s =
+  let acc = ref 0. in
+  iter_amps s (fun _ v -> acc := !acc +. Complex.norm2 v);
+  !acc
+
 let norm s = sqrt (norm2 s)
 
-let map_amps s f =
-  let amps = Hashtbl.create (Hashtbl.length s.amps) in
-  Hashtbl.iter
-    (fun k v ->
-      let v = f k v in
-      if Complex.norm v > eps then Hashtbl.replace amps k v)
-    s.amps;
-  { s with amps }
+let copy s =
+  { s with
+    repr =
+      (match s.repr with
+      | Classical { idx; amp } -> Classical { idx; amp }
+      | Sparse tbl -> Sparse (Hashtbl.copy tbl)) }
+
+let is_classical s = match s.repr with Classical _ -> true | Sparse _ -> false
+
+let force_sparse s =
+  (match s.repr with
+  | Sparse _ -> ()
+  | Classical { idx; amp } ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.replace tbl idx amp;
+      s.repr <- Sparse tbl);
+  s.pinned <- true
+
+let scale_inplace s c =
+  match s.repr with
+  | Classical cl -> cl.amp <- Complex.mul c cl.amp
+  | Sparse tbl ->
+      Hashtbl.filter_map_inplace (fun _ v -> Some (Complex.mul c v)) tbl
 
 let normalize s =
   let n = norm s in
   if n = 0. then invalid_arg "State.normalize: zero state";
-  map_amps s (fun _ v -> Complex.div v { re = n; im = 0. })
+  let s = copy s in
+  scale_inplace s { re = 1. /. n; im = 0. };
+  s
 
 let bit idx q = (idx lsr q) land 1 = 1
-
-(* Permutation gates: relabel basis indices. *)
-let permute s f =
-  let amps = Hashtbl.create (Hashtbl.length s.amps) in
-  Hashtbl.iter (fun k v -> Hashtbl.replace amps (f k) v) s.amps;
-  { s with amps }
-
 let phase_of p = Complex.polar 1.0 (Phase.to_radians p)
 
-let apply_gate s g =
-  match g with
-  | Gate.X q -> permute s (fun k -> k lxor (1 lsl q))
-  | Gate.Cnot { control; target } ->
-      permute s (fun k -> if bit k control then k lxor (1 lsl target) else k)
-  | Gate.Toffoli { c1; c2; target } ->
-      permute s (fun k ->
-          if bit k c1 && bit k c2 then k lxor (1 lsl target) else k)
-  | Gate.Swap (a, b) ->
-      permute s (fun k ->
-          if bit k a <> bit k b then k lxor (1 lsl a) lxor (1 lsl b) else k)
-  | Gate.Z q -> map_amps s (fun k v -> if bit k q then Complex.neg v else v)
-  | Gate.Cz (a, b) ->
-      map_amps s (fun k v -> if bit k a && bit k b then Complex.neg v else v)
-  | Gate.Phase (q, p) ->
-      let w = phase_of p in
-      map_amps s (fun k v -> if bit k q then Complex.mul w v else v)
-  | Gate.Cphase { control; target; phase } ->
-      let w = phase_of phase in
-      map_amps s (fun k v ->
-          if bit k control && bit k target then Complex.mul w v else v)
-  | Gate.H q ->
-      let r = 1.0 /. sqrt 2.0 in
-      let amps = Hashtbl.create (2 * Hashtbl.length s.amps) in
-      let accum k v =
-        if Complex.norm v > eps then
-          match Hashtbl.find_opt amps k with
-          | Some prev ->
-              let sum = Complex.add prev v in
-              if Complex.norm sum > eps then Hashtbl.replace amps k sum
-              else Hashtbl.remove amps k
-          | None -> Hashtbl.replace amps k v
-      in
-      Hashtbl.iter
-        (fun k v ->
-          let scaled = Complex.mul { re = r; im = 0. } v in
-          if bit k q then begin
-            accum (k lxor (1 lsl q)) scaled;
-            accum k (Complex.neg scaled)
+(* In-place permutation kernel. Every permutation gate we support (X, CNOT,
+   Toffoli, Swap) is an involution whose firing condition is invariant under
+   the move: index [k] with [cond k] swaps with [k lxor mask]. Snapshot the
+   key set once, then exchange amplitudes pairwise inside the same table —
+   no rebuild. A snapshot key can only disappear before its visit by being
+   the source of an earlier move, in which case its pair is already done. *)
+let permute_involution tbl cond mask =
+  let keys = Array.make (Hashtbl.length tbl) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k _ ->
+      keys.(!i) <- k;
+      incr i)
+    tbl;
+  Array.iter
+    (fun k ->
+      if cond k then
+        let k2 = k lxor mask in
+        match (Hashtbl.find_opt tbl k, Hashtbl.find_opt tbl k2) with
+        | Some v, Some v2 ->
+            if k < k2 then begin
+              Hashtbl.replace tbl k v2;
+              Hashtbl.replace tbl k2 v
+            end
+        | Some v, None ->
+            Hashtbl.remove tbl k;
+            Hashtbl.replace tbl k2 v
+        | None, _ -> ())
+    keys
+
+(* H double-buffers: the only gate that can merge or split terms. *)
+let h_table src q =
+  let r = 1.0 /. sqrt 2.0 in
+  let amps = Hashtbl.create (2 * Hashtbl.length src) in
+  let accum k v =
+    if Complex.norm v > eps then
+      match Hashtbl.find_opt amps k with
+      | Some prev ->
+          let sum = Complex.add prev v in
+          if Complex.norm sum > eps then Hashtbl.replace amps k sum
+          else Hashtbl.remove amps k
+      | None -> Hashtbl.replace amps k v
+  in
+  Hashtbl.iter
+    (fun k v ->
+      let scaled = Complex.mul { Complex.re = r; im = 0. } v in
+      if bit k q then begin
+        accum (k lxor (1 lsl q)) scaled;
+        accum k (Complex.neg scaled)
+      end
+      else begin
+        accum k scaled;
+        accum (k lxor (1 lsl q)) scaled
+      end)
+    src;
+  amps
+
+let apply_gate_inplace s g =
+  match s.repr with
+  | Classical c -> (
+      match g with
+      | Gate.X q -> c.idx <- c.idx lxor (1 lsl q)
+      | Gate.Cnot { control; target } ->
+          if bit c.idx control then c.idx <- c.idx lxor (1 lsl target)
+      | Gate.Toffoli { c1; c2; target } ->
+          if bit c.idx c1 && bit c.idx c2 then c.idx <- c.idx lxor (1 lsl target)
+      | Gate.Swap (a, b) ->
+          if bit c.idx a <> bit c.idx b then
+            c.idx <- c.idx lxor (1 lsl a) lxor (1 lsl b)
+      | Gate.Z q -> if bit c.idx q then c.amp <- Complex.neg c.amp
+      | Gate.Cz (a, b) ->
+          if bit c.idx a && bit c.idx b then c.amp <- Complex.neg c.amp
+      | Gate.Phase (q, p) ->
+          if bit c.idx q then c.amp <- Complex.mul (phase_of p) c.amp
+      | Gate.Cphase { control; target; phase } ->
+          if bit c.idx control && bit c.idx target then
+            c.amp <- Complex.mul (phase_of phase) c.amp
+      | Gate.H q ->
+          (* Promote: a single term always splits into exactly two. *)
+          let r = 1.0 /. sqrt 2.0 in
+          let scaled = Complex.mul { Complex.re = r; im = 0. } c.amp in
+          let tbl = Hashtbl.create 16 in
+          if bit c.idx q then begin
+            Hashtbl.replace tbl (c.idx lxor (1 lsl q)) scaled;
+            Hashtbl.replace tbl c.idx (Complex.neg scaled)
           end
           else begin
-            accum k scaled;
-            accum (k lxor (1 lsl q)) scaled
-          end)
-        s.amps;
-      { s with amps }
+            Hashtbl.replace tbl c.idx scaled;
+            Hashtbl.replace tbl (c.idx lxor (1 lsl q)) scaled
+          end;
+          s.repr <- Sparse tbl)
+  | Sparse tbl -> (
+      match g with
+      | Gate.X q -> permute_involution tbl (fun _ -> true) (1 lsl q)
+      | Gate.Cnot { control; target } ->
+          permute_involution tbl (fun k -> bit k control) (1 lsl target)
+      | Gate.Toffoli { c1; c2; target } ->
+          permute_involution tbl
+            (fun k -> bit k c1 && bit k c2)
+            (1 lsl target)
+      | Gate.Swap (a, b) ->
+          permute_involution tbl
+            (fun k -> bit k a <> bit k b)
+            ((1 lsl a) lor (1 lsl b))
+      | Gate.Z q ->
+          Hashtbl.filter_map_inplace
+            (fun k v -> Some (if bit k q then Complex.neg v else v))
+            tbl
+      | Gate.Cz (a, b) ->
+          Hashtbl.filter_map_inplace
+            (fun k v -> Some (if bit k a && bit k b then Complex.neg v else v))
+            tbl
+      | Gate.Phase (q, p) ->
+          let w = phase_of p in
+          Hashtbl.filter_map_inplace
+            (fun k v -> Some (if bit k q then Complex.mul w v else v))
+            tbl
+      | Gate.Cphase { control; target; phase } ->
+          let w = phase_of phase in
+          Hashtbl.filter_map_inplace
+            (fun k v ->
+              Some
+                (if bit k control && bit k target then Complex.mul w v else v))
+            tbl
+      | Gate.H q ->
+          s.repr <- Sparse (h_table tbl q);
+          maybe_demote s)
+
+let apply_gate s g =
+  let s = copy s in
+  apply_gate_inplace s g;
+  s
 
 let prob_bit_one s q =
-  let p =
-    Hashtbl.fold (fun k v acc -> if bit k q then acc +. Complex.norm2 v else acc)
-      s.amps 0.
-  in
-  p /. norm2 s
+  let p = ref 0. in
+  iter_amps s (fun k v -> if bit k q then p := !p +. Complex.norm2 v);
+  !p /. norm2 s
+
+let project_inplace s ~qubit ~value =
+  match s.repr with
+  | Classical c ->
+      if bit c.idx qubit <> value then
+        invalid_arg "State.project: zero-probability outcome";
+      let n = Complex.norm c.amp in
+      if n < eps then invalid_arg "State.project: zero-probability outcome";
+      c.amp <- Complex.div c.amp { re = n; im = 0. }
+  | Sparse tbl ->
+      Hashtbl.filter_map_inplace
+        (fun k v -> if bit k qubit = value then Some v else None)
+        tbl;
+      let n2 = Hashtbl.fold (fun _ v acc -> acc +. Complex.norm2 v) tbl 0. in
+      if sqrt n2 < eps then
+        invalid_arg "State.project: zero-probability outcome";
+      let inv = 1. /. sqrt n2 in
+      Hashtbl.filter_map_inplace
+        (fun _ v -> Some (Complex.mul { Complex.re = inv; im = 0. } v))
+        tbl;
+      maybe_demote s
 
 let project s ~qubit ~value =
-  let amps = Hashtbl.create (Hashtbl.length s.amps) in
-  Hashtbl.iter (fun k v -> if bit k qubit = value then Hashtbl.replace amps k v) s.amps;
-  let s = { s with amps } in
-  if norm s < eps then invalid_arg "State.project: zero-probability outcome";
-  normalize s
+  let s = copy s in
+  project_inplace s ~qubit ~value;
+  s
 
-let set_bit_zero s ~qubit = permute s (fun k -> k land lnot (1 lsl qubit))
+(* Clearing a wire is NOT a permutation: when the support holds both values
+   of the wire, indices [k] and [k lxor mask] collide on the cleared index,
+   so the colliding amplitudes must be accumulated (the map is linear, not
+   bijective). The seed implementation routed this through [permute], whose
+   [Hashtbl.replace] silently dropped one of the two amplitudes. *)
+let set_bit_zero_inplace s ~qubit =
+  match s.repr with
+  | Classical c -> c.idx <- c.idx land lnot (1 lsl qubit)
+  | Sparse tbl ->
+      let mask = 1 lsl qubit in
+      let moved = ref [] in
+      Hashtbl.iter
+        (fun k v -> if k land mask <> 0 then moved := (k, v) :: !moved)
+        tbl;
+      List.iter (fun (k, _) -> Hashtbl.remove tbl k) !moved;
+      List.iter
+        (fun (k, v) ->
+          let k' = k land lnot mask in
+          let sum =
+            match Hashtbl.find_opt tbl k' with
+            | Some prev -> Complex.add prev v
+            | None -> v
+          in
+          if Complex.norm sum > eps then Hashtbl.replace tbl k' sum
+          else Hashtbl.remove tbl k')
+        !moved;
+      maybe_demote s
+
+let set_bit_zero s ~qubit =
+  let s = copy s in
+  set_bit_zero_inplace s ~qubit;
+  s
 
 let fidelity a b =
   if a.num_qubits <> b.num_qubits then invalid_arg "State.fidelity";
   let na = norm a and nb = norm b in
-  let dot =
-    Hashtbl.fold
-      (fun k va acc ->
-        match Hashtbl.find_opt b.amps k with
-        | Some vb -> Complex.add acc (Complex.mul (Complex.conj va) vb)
-        | None -> acc)
-      a.amps Complex.zero
+  let find_b k =
+    match b.repr with
+    | Classical { idx; amp } -> if idx = k then Some amp else None
+    | Sparse tbl -> Hashtbl.find_opt tbl k
   in
-  Complex.norm dot /. (na *. nb)
+  let dot = ref Complex.zero in
+  iter_amps a (fun k va ->
+      match find_b k with
+      | Some vb -> dot := Complex.add !dot (Complex.mul (Complex.conj va) vb)
+      | None -> ());
+  Complex.norm !dot /. (na *. nb)
 
 let classical_value s =
-  match to_alist s with [ (k, _) ] -> Some k | _ -> None
+  match s.repr with
+  | Classical { idx; amp } -> if Complex.norm amp > eps then Some idx else None
+  | Sparse _ -> ( match to_alist s with [ (k, _) ] -> Some k | _ -> None)
 
 let bit_value s q =
   match to_alist s with
@@ -145,6 +330,88 @@ let bit_value s q =
   | (k0, _) :: rest ->
       let v = bit k0 q in
       if List.for_all (fun (k, _) -> bit k q = v) rest then Some v else None
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine: the seed's pure rebuild-per-gate algorithms, kept as
+   the oracle for the property tests comparing backends, and as the
+   "before" baseline in the simulator benchmark. Always returns a sparse
+   state; [pinned] is inherited so it never demotes mid-circuit. *)
+
+module Reference = struct
+  let sparse_of s =
+    let tbl = Hashtbl.create 16 in
+    iter_amps s (fun k v -> Hashtbl.replace tbl k v);
+    tbl
+
+  let wrap s tbl = { num_qubits = s.num_qubits; repr = Sparse tbl; pinned = s.pinned }
+
+  let permute s f =
+    let src = sparse_of s in
+    let amps = Hashtbl.create (Hashtbl.length src) in
+    Hashtbl.iter (fun k v -> Hashtbl.replace amps (f k) v) src;
+    wrap s amps
+
+  let map_amps s f =
+    let src = sparse_of s in
+    let amps = Hashtbl.create (Hashtbl.length src) in
+    Hashtbl.iter
+      (fun k v ->
+        let v = f k v in
+        if Complex.norm v > eps then Hashtbl.replace amps k v)
+      src;
+    wrap s amps
+
+  let apply_gate s g =
+    match g with
+    | Gate.X q -> permute s (fun k -> k lxor (1 lsl q))
+    | Gate.Cnot { control; target } ->
+        permute s (fun k -> if bit k control then k lxor (1 lsl target) else k)
+    | Gate.Toffoli { c1; c2; target } ->
+        permute s (fun k ->
+            if bit k c1 && bit k c2 then k lxor (1 lsl target) else k)
+    | Gate.Swap (a, b) ->
+        permute s (fun k ->
+            if bit k a <> bit k b then k lxor (1 lsl a) lxor (1 lsl b) else k)
+    | Gate.Z q -> map_amps s (fun k v -> if bit k q then Complex.neg v else v)
+    | Gate.Cz (a, b) ->
+        map_amps s (fun k v -> if bit k a && bit k b then Complex.neg v else v)
+    | Gate.Phase (q, p) ->
+        let w = phase_of p in
+        map_amps s (fun k v -> if bit k q then Complex.mul w v else v)
+    | Gate.Cphase { control; target; phase } ->
+        let w = phase_of phase in
+        map_amps s (fun k v ->
+            if bit k control && bit k target then Complex.mul w v else v)
+    | Gate.H q -> wrap s (h_table (sparse_of s) q)
+
+  let project s ~qubit ~value =
+    let src = sparse_of s in
+    let amps = Hashtbl.create (Hashtbl.length src) in
+    Hashtbl.iter
+      (fun k v -> if bit k qubit = value then Hashtbl.replace amps k v)
+      src;
+    let s = wrap s amps in
+    if norm s < eps then invalid_arg "State.project: zero-probability outcome";
+    let n = norm s in
+    map_amps s (fun _ v -> Complex.div v { re = n; im = 0. })
+
+  let set_bit_zero s ~qubit =
+    let mask = 1 lsl qubit in
+    let src = sparse_of s in
+    let amps = Hashtbl.create (Hashtbl.length src) in
+    Hashtbl.iter
+      (fun k v ->
+        let k' = k land lnot mask in
+        let sum =
+          match Hashtbl.find_opt amps k' with
+          | Some prev -> Complex.add prev v
+          | None -> v
+        in
+        if Complex.norm sum > eps then Hashtbl.replace amps k' sum
+        else Hashtbl.remove amps k')
+      src;
+    wrap s amps
+end
 
 let pp fmt s =
   let entries = to_alist s in

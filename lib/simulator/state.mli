@@ -1,12 +1,23 @@
-(** Sparse state vectors.
+(** Sparse state vectors with a classical fast track.
 
     A state over [num_qubits] wires (at most 62) is a finite map from basis
     indices to complex amplitudes; basis index bit [i] is the value of wire
     [i]. Sparsity is what makes simulating the ripple-carry circuits cheap:
     a computational-basis input stays a single basis state under X / CNOT /
     Toffoli, and the measurement-based blocks only ever put one ancilla at a
-    time into superposition. Dense states (QFT circuits) are still exact,
-    just limited to small wire counts. *)
+    time into superposition.
+
+    Internally a state rides one of two tracks. The {e classical} track
+    stores a single basis vector as a plain [int] (plus its global-phase
+    amplitude) and applies permutation gates in O(1) with zero allocation.
+    H promotes to the {e sparse} track — a hash table mutated in place for
+    permutation and diagonal gates, double-buffered only for H — and the
+    state demotes back to classical as soon as the support collapses to one
+    term. Dense states (QFT circuits) are still exact, just limited to
+    small wire counts.
+
+    The [*_inplace] operations mutate the state; the same-named pure
+    functions copy first and are safe to use on shared states. *)
 
 open Mbu_circuit
 
@@ -28,7 +39,21 @@ val num_terms : t -> int
 val norm : t -> float
 val normalize : t -> t
 
+val copy : t -> t
+(** Independent deep copy; in-place operations on the copy do not affect
+    the original. *)
+
+val is_classical : t -> bool
+(** True while the state is on the classical (single basis vector) track. *)
+
+val force_sparse : t -> unit
+(** Move the state to the sparse track and pin it there: it will not demote
+    back to the classical track even when the support is a single term.
+    Used by tests and benchmarks to exercise the sparse kernel on circuits
+    that would otherwise stay classical. Copies inherit the pin. *)
+
 val apply_gate : t -> Gate.t -> t
+val apply_gate_inplace : t -> Gate.t -> unit
 
 val prob_bit_one : t -> int -> float
 (** Probability that measuring the given wire yields 1. *)
@@ -37,10 +62,15 @@ val project : t -> qubit:int -> value:bool -> t
 (** Project onto the subspace where [qubit] = [value] and renormalize.
     Raises [Invalid_argument] if the outcome has zero probability. *)
 
+val project_inplace : t -> qubit:int -> value:bool -> unit
+
 val set_bit_zero : t -> qubit:int -> t
-(** Relabel: clear the given wire in every basis index (used by
-    measure-and-reset after projecting onto 1). The wire must be in a
-    definite value across the support. *)
+(** Clear the given wire in every basis index (used by measure-and-reset
+    after projecting onto 1). The map is linear but not bijective: basis
+    indices that collide once the wire is cleared have their amplitudes
+    {e accumulated}. *)
+
+val set_bit_zero_inplace : t -> qubit:int -> unit
 
 val fidelity : t -> t -> float
 (** |<a|b>| — 1 for states equal up to global phase. *)
@@ -51,5 +81,15 @@ val classical_value : t -> int option
 
 val bit_value : t -> int -> bool option
 (** The definite value of a wire across the whole support, if any. *)
+
+(** The seed simulator's pure rebuild-per-gate algorithms, kept verbatim
+    (modulo the [set_bit_zero] collision fix) as the oracle for the
+    backend-equivalence property tests and the "before" baseline of the
+    simulator benchmark. Results are always on the sparse track. *)
+module Reference : sig
+  val apply_gate : t -> Gate.t -> t
+  val project : t -> qubit:int -> value:bool -> t
+  val set_bit_zero : t -> qubit:int -> t
+end
 
 val pp : Format.formatter -> t -> unit

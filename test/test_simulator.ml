@@ -160,6 +160,96 @@ let test_qft_period () =
   check_int "8 terms" 8 (State.num_terms res.Sim.state);
   check_float "norm 1" 1.0 (State.norm res.Sim.state)
 
+(* Regression: the seed's set_bit_zero routed the non-bijective clear-bit
+   map through [permute], whose Hashtbl.replace silently dropped one of two
+   colliding amplitudes on a superposed, un-projected state. The linear map
+   |x> -> |x land ~bit> must accumulate them instead. *)
+let test_set_bit_zero_accumulates () =
+  let a = 1.0 /. sqrt 2.0 in
+  let amp re : Complex.t = { re; im = 0. } in
+  let s =
+    State.of_alist ~num_qubits:2 [ (0b01, amp a); (0b11, amp a) ]
+  in
+  let cleared = State.set_bit_zero s ~qubit:1 in
+  (match State.to_alist cleared with
+  | [ (0b01, v) ] ->
+      Alcotest.(check (float 1e-9)) "amplitudes accumulated" (2. *. a) v.re
+  | l -> Alcotest.failf "expected one term at |01>, got %d terms" (List.length l));
+  (* the pure operation must not mutate its argument *)
+  check_int "original untouched" 2 (State.num_terms s)
+
+let test_set_bit_zero_classical_track () =
+  let s = State.basis ~num_qubits:3 0b101 in
+  let cleared = State.set_bit_zero s ~qubit:2 in
+  check_int "cleared" 0b001 (classical_exn cleared);
+  check_bool "still classical" true (State.is_classical cleared)
+
+(* Regression: Sim.run without ?rng used to draw from one shared lazy
+   global, so results depended on how many unseeded runs happened before.
+   Now every unseeded run gets its own freshly seeded generator. *)
+let test_default_rng_isolation () =
+  let b = Builder.create () in
+  let q = Builder.fresh_qubit b in
+  Builder.h b q;
+  ignore (Builder.measure b q);
+  let c = Builder.to_circuit b in
+  let init = State.basis ~num_qubits:1 0 in
+  let r1 = Sim.run c ~init in
+  (* interleave other unseeded work that would have perturbed the global *)
+  for _ = 1 to 5 do
+    ignore (Sim.run c ~init)
+  done;
+  let r2 = Sim.run c ~init in
+  check_bool "unseeded runs reproducible" true (r1.Sim.bits = r2.Sim.bits)
+
+(* Regression: init_registers skipped the value-fits-register check for
+   n >= 62 because [1 lsl n] would overflow; the shift-based guard validates
+   wide registers too. *)
+let test_init_registers_wide_guard () =
+  let b = Builder.create () in
+  let r = Builder.fresh_register b "r" 62 in
+  let st = Sim.init_registers ~num_qubits:62 [ (r, max_int) ] in
+  check_int "62-bit round trip" max_int (Sim.register_value_exn st r);
+  Alcotest.check_raises "negative rejected (wide)"
+    (Invalid_argument "Sim.init_registers: -1 does not fit r") (fun () ->
+      ignore (Sim.init_registers ~num_qubits:62 [ (r, -1) ]));
+  let b2 = Builder.create () in
+  let s = Builder.fresh_register b2 "s" 3 in
+  Alcotest.check_raises "oversize rejected (narrow)"
+    (Invalid_argument "Sim.init_registers: 8 does not fit s") (fun () ->
+      ignore (Sim.init_registers ~num_qubits:3 [ (s, 8) ]))
+
+(* The classical track: permutation and diagonal gates keep a basis state
+   on the int representation; H promotes to sparse and recombination
+   demotes back; force_sparse pins the sparse kernel. *)
+let test_classical_track_promotion () =
+  let s = State.basis ~num_qubits:3 0b001 in
+  check_bool "basis is classical" true (State.is_classical s);
+  let s =
+    List.fold_left State.apply_gate s
+      [ Gate.X 1; Gate.Cnot { control = 0; target = 2 };
+        Gate.Toffoli { c1 = 0; c2 = 1; target = 2 }; Gate.Swap (0, 1);
+        Gate.Z 1; Gate.Phase (1, Phase.theta 2) ]
+  in
+  check_bool "permutation/diagonal stay classical" true (State.is_classical s);
+  let s = State.apply_gate s (Gate.H 0) in
+  check_bool "H promotes to sparse" false (State.is_classical s);
+  check_int "two terms" 2 (State.num_terms s);
+  let s = State.apply_gate s (Gate.H 0) in
+  check_bool "HH demotes back to classical" true (State.is_classical s);
+  let pinned = State.copy s in
+  State.force_sparse pinned;
+  let pinned = State.apply_gate (State.apply_gate pinned (Gate.H 0)) (Gate.H 0) in
+  check_bool "pinned state never demotes" false (State.is_classical pinned);
+  check_float "pinned state still exact" 1.0 (State.fidelity s pinned)
+
+let test_run_does_not_mutate_init () =
+  let c = Circuit.make ~num_qubits:2 [ Instr.Gate (Gate.X 0) ] in
+  let init = State.basis ~num_qubits:2 0 in
+  let r = Sim.run ~rng:(rng ()) c ~init in
+  check_int "run output" 1 (classical_exn r.Sim.state);
+  check_int "init untouched" 0 (classical_exn init)
+
 let test_fidelity_global_phase () =
   let plus = run_gates ~num_qubits:1 ~init:0 [ Gate.H 0 ] in
   let minus_global =
@@ -186,5 +276,17 @@ let suite =
       Alcotest.test_case "wires_zero detects garbage" `Quick
         test_wires_zero_detects_garbage;
       Alcotest.test_case "qft uniform" `Quick test_qft_period;
+      Alcotest.test_case "set_bit_zero accumulates collisions" `Quick
+        test_set_bit_zero_accumulates;
+      Alcotest.test_case "set_bit_zero on classical track" `Quick
+        test_set_bit_zero_classical_track;
+      Alcotest.test_case "default rng isolated per run" `Quick
+        test_default_rng_isolation;
+      Alcotest.test_case "init_registers validates wide registers" `Quick
+        test_init_registers_wide_guard;
+      Alcotest.test_case "classical track promotion/demotion" `Quick
+        test_classical_track_promotion;
+      Alcotest.test_case "run copies its init" `Quick
+        test_run_does_not_mutate_init;
       Alcotest.test_case "fidelity ignores global phase" `Quick
         test_fidelity_global_phase ] )

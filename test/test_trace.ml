@@ -160,6 +160,32 @@ let test_mbu_branch_frequency () =
         (Float.abs (f -. 0.5) <= 0.05)
   | None -> Alcotest.fail "no branches seen"
 
+(* Same acceptance experiment through the parallel multi-shot runner: one
+   circuit, 400 shots fanned across domains (or the sequential fallback),
+   per-shot tallies merged into one stats value. *)
+let test_mbu_branch_frequency_run_shots () =
+  let n = 4 and p = 13 in
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" n in
+  let y = Builder.fresh_register b "y" n in
+  Array.iter (fun q -> Builder.h b q) (Register.qubits x);
+  Mod_add.modadd ~mbu:true Mod_add.spec_cdkpm b ~p ~x ~y;
+  let st = Sim.new_stats () in
+  let shots = 400 in
+  let runs =
+    Sim.run_shots_builder ~seed:17 ~jobs:4 ~stats:st ~shots b
+      ~inits:[ (y, 11) ]
+  in
+  Alcotest.(check int) "shots returned" shots (Array.length runs);
+  Alcotest.(check int) "runs recorded" shots (Sim.runs st);
+  match Sim.taken_frequency st with
+  | Some f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "empirical frequency %.3f within 0.5 +- 0.05" f)
+        true
+        (Float.abs (f -. 0.5) <= 0.05)
+  | None -> Alcotest.fail "no branches seen"
+
 let test_sim_span_events_nest () =
   (* Span_enter/Span_exit arrive properly nested and carry the full path. *)
   let b, x, y, _ = table1_circuit 4 in
@@ -195,5 +221,7 @@ let suite =
       Alcotest.test_case "render and json" `Quick test_render_and_json;
       Alcotest.test_case "mbu branch frequency 0.5 +- 0.05" `Quick
         test_mbu_branch_frequency;
+      Alcotest.test_case "mbu branch frequency via run_shots" `Quick
+        test_mbu_branch_frequency_run_shots;
       Alcotest.test_case "simulator span events" `Quick
         test_sim_span_events_nest ] )
