@@ -764,6 +764,146 @@ let experiment_sim_bench () =
   fpf "   + in-place sparse kernel; written to BENCH_sim.json)@."
 
 (* ------------------------------------------------------------------ *)
+(* E-BUILD: DAG IR build + memoized metric wall-clock *)
+
+(* Wall-clock one metric pass: repetitions are batched to ~20 ms so
+   sub-millisecond passes are resolvable, and the minimum over several
+   batches is reported — the usual robust estimator, insulating the figure
+   from GC majors and scheduler noise landing inside a batch. *)
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let once = Unix.gettimeofday () -. t0 in
+  let reps = max 1 (int_of_float (0.02 /. Float.max once 1e-7)) in
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    best := Float.min !best ((Unix.gettimeofday () -. t0) /. float_of_int reps)
+  done;
+  !best *. 1000.
+
+let experiment_build_bench () =
+  header
+    "E-BUILD: hash-consed DAG build + memoized counts/profile (wall-clock)";
+  fpf "  tree = pre-PR representation (Instr.expand_calls, every shared@.";
+  fpf "  block inlined); dag = hash-consed IR. The p/dag and p/tree columns@.";
+  fpf "  run the profiler with span_depth:false on both sides (conservative@.";
+  fpf "  same-methodology comparison); pre-PR is the profiler exactly as@.";
+  fpf "  pre-PR callers ran it — on the tree, per-span isolated ASAP depth@.";
+  fpf "  included, with no way to opt out.@.@.";
+  let t1_rows =
+    List.map
+      (fun (name, build) ->
+        ( name, 32,
+          fun () ->
+            let b = Builder.create () in
+            build ~mbu:true ~p:(modulus 32) ~n:32 b;
+            Builder.to_circuit b ))
+      t1_builders
+  in
+  let modmul_row n =
+    ( "mod_mul cmult_add", n,
+      fun () ->
+        let b = Builder.create () in
+        let p = modulus n in
+        let c = Builder.fresh_register b "c" 1 in
+        let x = Builder.fresh_register b "x" n in
+        let t = Builder.fresh_register b "t" n in
+        Mod_mul.cmult_add
+          (Mod_mul.ripple_engine ~mbu:true Mod_add.spec_cdkpm)
+          b ~ctrl:(Register.get c 0) ~a:(p / 3) ~p ~x ~target:t;
+        Builder.to_circuit b )
+  in
+  let rows_spec = t1_rows @ List.map modmul_row [ 16; 32; 60 ] in
+  fpf
+    "  %-18s | %3s | %8s | %9s | %6s | %9s | %9s | %7s | %9s | %9s | %7s | \
+     %9s | %8s@."
+    "row" "n" "build ms" "live Mw" "nodes" "count/dag" "count/tre" "speedup"
+    "prof/dag" "prof/tre" "speedup" "pre-PR ms" "speedup";
+  let results =
+    List.map
+      (fun (name, n, build) ->
+        let nodes0 = Instr.shared_nodes () in
+        Gc.full_major ();
+        let live0 = (Gc.stat ()).Gc.live_words in
+        let t0 = Unix.gettimeofday () in
+        let c = build () in
+        let build_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        Gc.full_major ();
+        let live_words = (Gc.stat ()).Gc.live_words - live0 in
+        let shared = Instr.shared_nodes () - nodes0 in
+        let instrs = c.Circuit.instrs in
+        let mode = Counts.Expected 0.5 in
+        let gates = Counts.total_gates (Counts.of_instrs ~mode:Counts.Worst instrs) in
+        let counts_dag_ms =
+          time_ms (fun () -> ignore (Counts.of_instrs ~mode instrs))
+        in
+        let profile_dag_ms =
+          time_ms (fun () -> ignore (Trace.profile ~mode ~span_depth:false instrs))
+        in
+        (* the pre-PR tree: every Call inlined *)
+        let tree = Instr.expand_calls instrs in
+        let counts_tree_ms =
+          time_ms (fun () -> ignore (Counts.of_instrs ~mode tree))
+        in
+        let profile_tree_ms =
+          time_ms (fun () -> ignore (Trace.profile ~mode ~span_depth:false tree))
+        in
+        (* the profiler exactly as pre-PR callers invoked it: tree
+           representation, per-span isolated depth always on (one rep — the
+           big rows take hundreds of ms) *)
+        let t0 = Unix.gettimeofday () in
+        ignore (Trace.profile ~mode ~span_depth:true tree);
+        let profile_pre_pr_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        let c_speed = counts_tree_ms /. Float.max counts_dag_ms 1e-9 in
+        let p_speed = profile_tree_ms /. Float.max profile_dag_ms 1e-9 in
+        let pre_speed = profile_pre_pr_ms /. Float.max profile_dag_ms 1e-9 in
+        fpf
+          "  %-18s | %3d | %8.2f | %9.3f | %6d | %9.4f | %9.4f | %6.1fx | \
+           %9.4f | %9.4f | %6.1fx | %9.2f | %7.0fx@."
+          name n build_ms
+          (float_of_int live_words /. 1e6)
+          shared counts_dag_ms counts_tree_ms c_speed profile_dag_ms
+          profile_tree_ms p_speed profile_pre_pr_ms pre_speed;
+        ( name, n, build_ms, live_words, gates, shared, counts_dag_ms,
+          counts_tree_ms, profile_dag_ms, profile_tree_ms, profile_pre_pr_ms ))
+      rows_spec
+  in
+  let oc = open_out "BENCH_build.json" in
+  Printf.fprintf oc "{\n  \"workload\": \"table1+modmul-dag-build\",\n";
+  Printf.fprintf oc "  \"profile_span_depth\": false,\n";
+  Printf.fprintf oc "  \"rows\": [\n";
+  List.iteri
+    (fun i
+         ( name, n, build_ms, live_words, gates, shared, counts_dag_ms,
+           counts_tree_ms, profile_dag_ms, profile_tree_ms, profile_pre_pr_ms ) ->
+      Printf.fprintf oc
+        "    {\"row\": \"%s\", \"n\": %d, \"build_ms\": %.3f, \
+         \"live_words\": %d, \"gates\": %.0f, \"shared_nodes\": %d, \
+         \"counts_dag_ms\": %.4f, \"counts_tree_ms\": %.4f, \
+         \"counts_speedup\": %.2f, \"profile_dag_ms\": %.4f, \
+         \"profile_tree_ms\": %.4f, \"profile_speedup_same_methodology\": \
+         %.2f, \"profile_pre_pr_ms\": %.4f, \"profile_speedup_vs_pre_pr\": \
+         %.1f, \"metrics_speedup_vs_pre_pr\": %.1f}%s\n"
+        (json_escape name) n build_ms live_words gates shared counts_dag_ms
+        counts_tree_ms
+        (counts_tree_ms /. Float.max counts_dag_ms 1e-9)
+        profile_dag_ms profile_tree_ms
+        (profile_tree_ms /. Float.max profile_dag_ms 1e-9)
+        profile_pre_pr_ms
+        (profile_pre_pr_ms /. Float.max profile_dag_ms 1e-9)
+        ((counts_tree_ms +. profile_pre_pr_ms)
+        /. Float.max (counts_dag_ms +. profile_dag_ms) 1e-9)
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  fpf "  (written to BENCH_build.json)@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benchmarks *)
 
 let bechamel_tests () =
@@ -938,7 +1078,14 @@ let report_phase_times () =
   fpf "  %-20s %10.3f@." "total" total
 
 let () =
-  (* `--sim-only` runs just the simulator micro-bench (CI benchmark smoke). *)
+  (* `--sim-only` runs just the simulator micro-bench (CI benchmark smoke);
+     `--build-only` runs just the DAG build/metric bench. *)
+  if Array.exists (String.equal "--build-only") Sys.argv then begin
+    timed "build_bench" experiment_build_bench;
+    report_phase_times ();
+    fpf "@.done.@.";
+    exit 0
+  end;
   if Array.exists (String.equal "--sim-only") Sys.argv then begin
     timed "sim_bench" experiment_sim_bench;
     report_phase_times ();
@@ -964,6 +1111,7 @@ let () =
   timed "depth" experiment_depth;
   timed "ft" experiment_ft;
   timed "ablations" experiment_ablations;
+  timed "build_bench" experiment_build_bench;
   timed "sim_bench" experiment_sim_bench;
   timed "bechamel" run_bechamel;
   report_phase_times ();

@@ -147,14 +147,85 @@ let capture b f =
       ignore (leave b);
       raise e
 
-let emit b instrs = List.iter (push b) instrs
+let emit b instrs =
+  (* Splice in one rev-append instead of pushing instr-by-instr. *)
+  match b.stack with
+  | top :: rest -> b.stack <- List.rev_append instrs top :: rest
+  | [] -> assert false
 
 let emit_adjoint b f =
   let (), instrs = capture b f in
   emit b (Instr.adjoint instrs)
 
+(* Intern the instructions emitted by [f] as one anonymous hash-consed
+   block. No span is wrapped around the body, so every metric, trace, and
+   QASM emission is unchanged — only the in-memory representation dedups
+   (and metric walks memoize the block). Ancilla accounting is untouched:
+   allocations inside [f] hit the builder's global counters exactly as if
+   the instructions were emitted inline. *)
+let shared b f =
+  enter b;
+  match f () with
+  | v ->
+      (match leave b with
+      | [] -> ()
+      | body -> push b (Instr.share body));
+      v
+  | exception e ->
+      ignore (leave b);
+      raise e
+
+let with_shared b label f =
+  enter b;
+  let outer_peak = b.peak_live in
+  b.peak_live <- b.live_ancillas;
+  match f () with
+  | v ->
+      let body = leave b in
+      let peak_ancillas = b.peak_live in
+      b.peak_live <- max outer_peak peak_ancillas;
+      push b (Instr.share [ Instr.Span { label; peak_ancillas; body } ]);
+      v
+  | exception e ->
+      ignore (leave b);
+      b.peak_live <- max outer_peak b.peak_live;
+      raise e
+
+let repeat ?label b ~times f =
+  if times < 1 then invalid_arg "Builder.repeat: times must be >= 1";
+  enter b;
+  let outer_peak = b.peak_live in
+  b.peak_live <- b.live_ancillas;
+  match f () with
+  | v ->
+      let body = leave b in
+      let peak_ancillas = b.peak_live in
+      b.peak_live <- max outer_peak peak_ancillas;
+      let body =
+        match label with
+        | Some label -> [ Instr.Span { label; peak_ancillas; body } ]
+        | None -> body
+      in
+      (* A reference replays the same classical bits, so a measuring body
+         cannot be repeated by reference: each physical repetition would
+         need fresh bits. *)
+      if not (Instr.is_unitary body) then
+        invalid_arg "Builder.repeat: body contains measurements";
+      let r = Instr.share body in
+      for _ = 1 to times do
+        push b r
+      done;
+      v
+  | exception e ->
+      ignore (leave b);
+      b.peak_live <- max outer_peak b.peak_live;
+      raise e
+
 let to_circuit b =
   match b.stack with
   | [ top ] ->
-      Circuit.make ~num_qubits:b.next_qubit ~num_bits:b.next_bit (List.rev top)
+      (* Every gate was validated by [gate] on emission, so construction
+         takes the trusted path. *)
+      Circuit.make ~validate:false ~num_qubits:b.next_qubit
+        ~num_bits:b.next_bit (List.rev top)
   | _ -> invalid_arg "Builder.to_circuit: unbalanced capture/if block"

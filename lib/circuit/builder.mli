@@ -73,6 +73,32 @@ val with_span : t -> string -> (unit -> 'a) -> 'a
     high-water mark reached while it was open. Nest freely; every arithmetic
     constructor in [mbu.core] opens one. *)
 
+val with_shared : t -> string -> (unit -> 'a) -> 'a
+(** Like {!with_span}, but the emitted span is interned with {!Instr.share}
+    and pushed as an {!Instr.Call} reference. If a structurally identical
+    block (same gates on the same wires, same label and ancilla high-water)
+    was emitted before — e.g. the per-bit controlled modular adder of a
+    product loop, whose LIFO ancilla reuse makes every iteration
+    wire-identical — the reference points at the existing node and metric
+    passes evaluate it only once. Bodies containing measurements are legal
+    but never deduplicate (each measurement uses a fresh classical bit). *)
+
+val shared : t -> (unit -> 'a) -> 'a
+(** Like {!with_shared} but anonymous: the emitted instructions are interned
+    and referenced with no span wrapper, so traces, counts, QASM and drawing
+    are indistinguishable from inline emission — only the representation
+    (and the metric memoization) changes. Use it for small repeated layers
+    that are not worth a line of attribution, e.g. constant load layers.
+    Emitting nothing pushes nothing. *)
+
+val repeat : ?label:string -> t -> times:int -> (unit -> 'a) -> 'a
+(** [repeat b ~times f] runs [f] {e once}, interns what it emitted
+    (optionally wrapped in a span [label]) and pushes [times] references to
+    it. The body must be measurement-free — a reference replays the same
+    classical bits, so measuring bodies raise [Invalid_argument]. [times]
+    must be at least 1 (the builder's allocation effects of [f] happen
+    regardless). *)
+
 val capture : t -> (unit -> 'a) -> 'a * Instr.t list
 (** [capture b f] runs [f] and returns what it emitted {e without} adding it
     to the circuit. Allocation effects (fresh wires, ancilla pool) persist. *)

@@ -6,10 +6,15 @@ type t = private {
   instrs : Instr.t list;
 }
 
-val make : ?num_qubits:int -> ?num_bits:int -> Instr.t list -> t
+val make :
+  ?validate:bool -> ?num_qubits:int -> ?num_bits:int -> Instr.t list -> t
 (** Widths default to (1 + the largest index used). Raises
     [Invalid_argument] if an explicit width is too small or a gate is
-    malformed (see {!Gate.validate}). *)
+    malformed (see {!Gate.validate}). [validate] defaults to [true]; pass
+    [~validate:false] on the trusted path where every gate was already
+    checked on emission ({!Builder.gate} does), skipping the per-gate
+    re-validation while still computing the width invariant in one fused
+    pass. *)
 
 val adjoint : t -> t
 (** Raises [Invalid_argument] on circuits containing measurements

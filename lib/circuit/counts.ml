@@ -43,6 +43,19 @@ let of_instrs ~mode instrs =
   let branch_weight =
     match mode with Worst -> 1. | Best -> 0. | Expected p -> p
   in
+  (* Per-invocation memo for shared blocks: a node's counts are evaluated
+     once at weight 1 and every reference scales that total by its own
+     enclosing weight. When the weight is a power of two (always the case
+     for Worst/Best and the canonical Expected 0.5 — nested If_bit
+     halvings) and the per-gate unit contributions are integers, all
+     intermediate sums are dyadic rationals far below 2^53 — float
+     arithmetic is exact in any association and the memoized result is
+     bit-identical to the inline tree walk. A non-dyadic branch weight
+     (e.g. Expected 0.3) pollutes every accumulator with rounding, making
+     w*k differ from k additions of w in the last ulp, so those modes fall
+     back to the inline walk throughout. *)
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 64 in
+  let use_memo = branch_weight = 0. || fst (Float.frexp branch_weight) = 0.5 in
   let rec count weight acc = function
     | [] -> acc
     | Instr.Gate g :: rest -> count weight (add acc (scale weight (of_gate g))) rest
@@ -54,6 +67,21 @@ let of_instrs ~mode instrs =
     | Instr.Span { body; _ } :: rest ->
         let acc = count weight acc body in
         count weight acc rest
+    | Instr.Call node :: rest ->
+        if use_memo then
+          let c =
+            match Hashtbl.find_opt memo node.Instr.id with
+            | Some c -> c
+            | None ->
+                let c = count 1. zero node.Instr.body in
+                Hashtbl.add memo node.Instr.id c;
+                c
+          in
+          let c = if weight = 1. then c else scale weight c in
+          count weight (add acc c) rest
+        else
+          let acc = count weight acc node.Instr.body in
+          count weight acc rest
   in
   count 1. zero instrs
 

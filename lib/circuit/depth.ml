@@ -45,6 +45,11 @@ let of_instrs ~mode instrs =
     | Instr.Span { body; _ } :: rest ->
         exec w extra_total extra_tof body;
         exec w extra_total extra_tof rest
+    | Instr.Call { body; _ } :: rest ->
+        (* Depth is not compositional (the per-wire fronts couple a block to
+           its context), so references are walked exactly, like spans. *)
+        exec w extra_total extra_tof body;
+        exec w extra_total extra_tof rest
   in
   exec 1. 0. 0. instrs;
   let max_of tbl = Hashtbl.fold (fun _ v m -> Float.max v m) tbl 0. in

@@ -44,7 +44,7 @@ let flatten instrs =
     | Instr.If_bit { body; _ } :: rest ->
         let acc = go true acc body in
         go conditional acc rest
-    | Instr.Span { body; _ } :: rest ->
+    | (Instr.Span { body; _ } | Instr.Call { body; _ }) :: rest ->
         let acc = go conditional acc body in
         go conditional acc rest
   in

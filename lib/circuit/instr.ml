@@ -3,16 +3,220 @@ type t =
   | Measure of { qubit : Gate.qubit; bit : int; reset : bool }
   | If_bit of { bit : int; value : bool; body : t list }
   | Span of { label : string; peak_ancillas : int; body : t list }
+  | Call of node
 
-let rec adjoint instrs =
-  let adj_one = function
-    | Gate g -> Gate (Gate.adjoint g)
-    | Span { label; peak_ancillas; body } ->
-        Span { label; peak_ancillas; body = adjoint body }
-    | Measure _ | If_bit _ ->
-        invalid_arg "Instr.adjoint: circuit contains a measurement"
-  in
-  List.rev_map adj_one instrs
+and node = { id : int; hkey : int; body : t list }
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing.                                                       *)
+(*                                                                     *)
+(* Nodes are interned bottom-up: the body of a node is built before    *)
+(* the node itself, so any [Call] appearing inside a candidate body    *)
+(* already points at a canonical node. Structural equality of [Call]s  *)
+(* therefore reduces to physical equality of their nodes, which keeps  *)
+(* both hashing and comparison O(size of the body's own level) instead *)
+(* of O(size of the expanded tree).                                    *)
+(* ------------------------------------------------------------------ *)
+
+let combine h v = (h * 0x01000193) lxor (v land max_int)
+
+let rec hash_instr = function
+  | Gate g -> combine 0x9e3779b1 (Hashtbl.hash g)
+  | Measure { qubit; bit; reset } ->
+      combine (combine (combine 2 qubit) bit) (Bool.to_int reset)
+  | If_bit { bit; value; body } ->
+      combine (combine (combine 3 bit) (Bool.to_int value)) (hash_body body)
+  | Span { label; peak_ancillas; body } ->
+      combine
+        (combine (combine 5 (Hashtbl.hash label)) peak_ancillas)
+        (hash_body body)
+  | Call n -> combine 7 n.hkey
+
+and hash_body body =
+  List.fold_left (fun h i -> combine h (hash_instr i)) 0x811c9dc5 body
+
+let rec equal_instr a b =
+  a == b
+  ||
+  match (a, b) with
+  | Gate g, Gate h -> Gate.equal g h
+  | Measure m, Measure m' ->
+      m.qubit = m'.qubit && m.bit = m'.bit && m.reset = m'.reset
+  | If_bit i, If_bit j ->
+      i.bit = j.bit && i.value = j.value && equal_body i.body j.body
+  | Span s, Span s' ->
+      String.equal s.label s'.label
+      && s.peak_ancillas = s'.peak_ancillas
+      && equal_body s.body s'.body
+  | Call n, Call m -> n == m
+  | _ -> false
+
+and equal_body a b =
+  match (a, b) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> equal_instr x y && equal_body xs ys
+  | _ -> false
+
+module Body_tbl = Hashtbl.Make (struct
+  type nonrec t = t list
+
+  let hash = hash_body
+  let equal = equal_body
+end)
+
+let intern_tbl : node Body_tbl.t = Body_tbl.create 1024
+let next_node_id = ref 0
+
+let share body =
+  match Body_tbl.find_opt intern_tbl body with
+  | Some n -> Call n
+  | None ->
+      let n = { id = !next_node_id; hkey = hash_body body; body } in
+      incr next_node_id;
+      Body_tbl.add intern_tbl body n;
+      Call n
+
+let shared_nodes () = Body_tbl.length intern_tbl
+
+(* ------------------------------------------------------------------ *)
+(* Fused scan: one walk computing wire/bit maxima, instruction and     *)
+(* span totals, and unitarity, with optional gate validation. Per-node *)
+(* results are memoized by node id so a shared block is visited once   *)
+(* no matter how many references point at it.                          *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  max_qubit : int;
+  max_bit : int;
+  instr_count : int;
+  span_count : int;
+  unitary : bool;
+}
+
+type scan_acc = {
+  mutable mq : int;
+  mutable mb : int;
+  mutable ni : int;
+  mutable ns : int;
+  mutable un : bool;
+}
+
+let summary_tbl : (int, summary) Hashtbl.t = Hashtbl.create 1024
+let validated_tbl : (int, unit) Hashtbl.t = Hashtbl.create 1024
+
+let rec scan_into ~validate acc = function
+  | [] -> ()
+  | Gate g :: rest ->
+      if validate then Gate.validate g;
+      List.iter (fun q -> if q > acc.mq then acc.mq <- q) (Gate.qubits g);
+      acc.ni <- acc.ni + 1;
+      scan_into ~validate acc rest
+  | Measure { qubit; bit; _ } :: rest ->
+      if qubit > acc.mq then acc.mq <- qubit;
+      if bit > acc.mb then acc.mb <- bit;
+      acc.ni <- acc.ni + 1;
+      acc.un <- false;
+      scan_into ~validate acc rest
+  | If_bit { bit; body; _ } :: rest ->
+      if bit > acc.mb then acc.mb <- bit;
+      acc.ni <- acc.ni + 1;
+      acc.un <- false;
+      scan_into ~validate acc body;
+      scan_into ~validate acc rest
+  | Span { body; _ } :: rest ->
+      acc.ns <- acc.ns + 1;
+      scan_into ~validate acc body;
+      scan_into ~validate acc rest
+  | Call n :: rest ->
+      let s = node_summary n in
+      if validate then validate_node n;
+      if s.max_qubit > acc.mq then acc.mq <- s.max_qubit;
+      if s.max_bit > acc.mb then acc.mb <- s.max_bit;
+      acc.ni <- acc.ni + s.instr_count;
+      acc.ns <- acc.ns + s.span_count;
+      acc.un <- acc.un && s.unitary;
+      scan_into ~validate acc rest
+
+and node_summary n =
+  match Hashtbl.find_opt summary_tbl n.id with
+  | Some s -> s
+  | None ->
+      let acc = { mq = -1; mb = -1; ni = 0; ns = 0; un = true } in
+      scan_into ~validate:false acc n.body;
+      let s =
+        { max_qubit = acc.mq;
+          max_bit = acc.mb;
+          instr_count = acc.ni;
+          span_count = acc.ns;
+          unitary = acc.un }
+      in
+      Hashtbl.add summary_tbl n.id s;
+      s
+
+and validate_node n =
+  if not (Hashtbl.mem validated_tbl n.id) then begin
+    Hashtbl.add validated_tbl n.id ();
+    validate_body n.body
+  end
+
+and validate_body = function
+  | [] -> ()
+  | Gate g :: rest ->
+      Gate.validate g;
+      validate_body rest
+  | Measure _ :: rest -> validate_body rest
+  | (If_bit { body; _ } | Span { body; _ }) :: rest ->
+      validate_body body;
+      validate_body rest
+  | Call n :: rest ->
+      validate_node n;
+      validate_body rest
+
+let scan ?(validate = false) instrs =
+  let acc = { mq = -1; mb = -1; ni = 0; ns = 0; un = true } in
+  scan_into ~validate acc instrs;
+  { max_qubit = acc.mq;
+    max_bit = acc.mb;
+    instr_count = acc.ni;
+    span_count = acc.ns;
+    unitary = acc.un }
+
+let max_qubit instrs = (scan instrs).max_qubit
+let max_bit instrs = (scan instrs).max_bit
+
+(* Spans are weightless bookkeeping: they never count as instructions, and
+   neither does a [Call] — a reference counts as its expanded body. *)
+let count_instrs instrs = (scan instrs).instr_count
+let count_spans instrs = (scan instrs).span_count
+let is_unitary instrs = (scan instrs).unitary
+
+(* ------------------------------------------------------------------ *)
+(* Adjoint. The adjoint of a shared node is itself shared, and the two *)
+(* nodes cache each other so double-adjoint returns the original node  *)
+(* physically — repeated references cost O(1) after the first.         *)
+(* ------------------------------------------------------------------ *)
+
+let adjoint_tbl : (int, t) Hashtbl.t = Hashtbl.create 256
+
+let rec adjoint instrs = List.rev_map adj_one instrs
+
+and adj_one = function
+  | Gate g -> Gate (Gate.adjoint g)
+  | Span { label; peak_ancillas; body } ->
+      Span { label; peak_ancillas; body = adjoint body }
+  | Call n -> (
+      match Hashtbl.find_opt adjoint_tbl n.id with
+      | Some a -> a
+      | None ->
+          let a = share (adjoint n.body) in
+          Hashtbl.add adjoint_tbl n.id a;
+          (match a with
+          | Call an when not (Hashtbl.mem adjoint_tbl an.id) ->
+              Hashtbl.add adjoint_tbl an.id (Call n)
+          | _ -> ());
+          a)
+  | Measure _ | If_bit _ ->
+      invalid_arg "Instr.adjoint: circuit contains a measurement"
 
 let rec iter_gates f = function
   | [] -> ()
@@ -20,48 +224,35 @@ let rec iter_gates f = function
       f g;
       iter_gates f rest
   | Measure _ :: rest -> iter_gates f rest
-  | (If_bit { body; _ } | Span { body; _ }) :: rest ->
+  | (If_bit { body; _ } | Span { body; _ } | Call { body; _ }) :: rest ->
       iter_gates f body;
       iter_gates f rest
 
-let rec fold_instrs f acc = function
-  | [] -> acc
-  | (Gate _ as i) :: rest | (Measure _ as i) :: rest -> fold_instrs f (f acc i) rest
-  | ((If_bit { body; _ } | Span { body; _ }) as i) :: rest ->
-      fold_instrs f (fold_instrs f (f acc i) body) rest
+(* Both rewrites below use a reversed accumulator ([go] conses onto [acc]
+   and the caller reverses once) so splicing a body is rev-append-style
+   O(|body|) instead of the quadratic [strip body @ strip rest]. *)
 
-let max_qubit instrs =
-  fold_instrs
-    (fun acc i ->
-      match i with
-      | Gate g -> List.fold_left max acc (Gate.qubits g)
-      | Measure { qubit; _ } -> max acc qubit
-      | If_bit _ | Span _ -> acc)
-    (-1) instrs
+let rec strip_spans instrs =
+  let rec go acc = function
+    | [] -> acc
+    | (Span { body; _ } | Call { body; _ }) :: rest -> go (go acc body) rest
+    | If_bit { bit; value; body } :: rest ->
+        go (If_bit { bit; value; body = strip_spans body } :: acc) rest
+    | ((Gate _ | Measure _) as i) :: rest -> go (i :: acc) rest
+  in
+  List.rev (go [] instrs)
 
-let max_bit instrs =
-  fold_instrs
-    (fun acc i ->
-      match i with
-      | Gate _ -> acc
-      | Measure { bit; _ } -> max acc bit
-      | If_bit { bit; _ } -> max acc bit
-      | Span _ -> acc)
-    (-1) instrs
-
-(* Spans are weightless bookkeeping: they never count as instructions. *)
-let count_instrs instrs =
-  fold_instrs (fun acc i -> match i with Span _ -> acc | _ -> acc + 1) 0 instrs
-
-let count_spans instrs =
-  fold_instrs (fun acc i -> match i with Span _ -> acc + 1 | _ -> acc) 0 instrs
-
-let rec strip_spans = function
-  | [] -> []
-  | Span { body; _ } :: rest -> strip_spans body @ strip_spans rest
-  | If_bit { bit; value; body } :: rest ->
-      If_bit { bit; value; body = strip_spans body } :: strip_spans rest
-  | ((Gate _ | Measure _) as i) :: rest -> i :: strip_spans rest
+let rec expand_calls instrs =
+  let rec go acc = function
+    | [] -> acc
+    | Call { body; _ } :: rest -> go (go acc body) rest
+    | Span { label; peak_ancillas; body } :: rest ->
+        go (Span { label; peak_ancillas; body = expand_calls body } :: acc) rest
+    | If_bit { bit; value; body } :: rest ->
+        go (If_bit { bit; value; body = expand_calls body } :: acc) rest
+    | ((Gate _ | Measure _) as i) :: rest -> go (i :: acc) rest
+  in
+  List.rev (go [] instrs)
 
 let rec pp fmt = function
   | Gate g -> Gate.pp fmt g
@@ -73,5 +264,9 @@ let rec pp fmt = function
         body
   | Span { label; body; _ } ->
       Format.fprintf fmt "@[<v 2>span %S {%a}@]" label
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp)
+        body
+  | Call { id; body; _ } ->
+      Format.fprintf fmt "@[<v 2>call #%d {%a}@]" id
         (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp)
         body

@@ -67,6 +67,12 @@ let rec flatten_items instrs =
         incr next_id;
         let acc = go (path @ [ { id; label; peak_ancillas } ]) acc body in
         go path acc rest
+    | Instr.Call { body; _ } :: rest ->
+        (* The optimizer works on the expansion: each reference is inlined
+           (fusion may rewrite one occurrence differently from another, so
+           sharing cannot survive optimization). *)
+        let acc = go path acc body in
+        go path acc rest
   in
   List.rev (go [] [] instrs)
 

@@ -49,6 +49,10 @@ let to_string (c : Circuit.t) =
         line indent (Printf.sprintf "// span begin: %s (anc=%d)" label peak_ancillas);
         List.iter (emit (indent + 1)) body;
         line indent "// span end"
+    | Instr.Call { body; _ } ->
+        (* Serialization expands references: the text is the denoted
+           program, byte-identical to the unshared build. *)
+        List.iter (emit indent) body
   in
   List.iter (emit 0) c.Circuit.instrs;
   Buffer.contents buf

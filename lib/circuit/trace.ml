@@ -22,14 +22,71 @@ let depth_mode = function
 let cum_of flat children =
   List.fold_left (fun acc e -> Counts.add acc e.cum) flat children
 
-let profile ?(mode = Counts.Expected 0.5) instrs =
+(* Memo of one shared node's profile, computed once in a neutral frame
+   (clock 0, weight 1, empty path). Every reference rebases it into its own
+   context: starts shift by the reference's clock, counts and durations
+   scale by the enclosing branch weight, paths get the reference's prefix.
+   When the branch weight is a power of two (Worst/Best/Expected 0.5) all
+   quantities are integers scaled by exact powers of two, so the rescaling
+   is exact and the rebased entries are bit-identical to an inline walk; a
+   non-dyadic branch weight (e.g. Expected 0.3) pollutes every accumulator
+   with rounding, so those modes inline-walk all references instead. *)
+type node_memo = { m_flat : Counts.t; m_dur : float; m_children : entry list }
+
+type clock = { mutable c : float }
+
+let profile ?(mode = Counts.Expected 0.5) ?(span_depth = true) instrs =
   let branch_weight =
     match mode with Counts.Worst -> 1. | Best -> 0. | Expected p -> p
+  in
+  let depth_of body =
+    (* Per-span isolated ASAP depth is the one metric that cannot be
+       memoized across contexts cheaply (ancestor spans re-walk their whole
+       expansion); [~span_depth:false] skips it for cryptographic-scale
+       sweeps where only counts/attribution matter. *)
+    if span_depth then Depth.of_instrs ~mode:(depth_mode mode) body
+    else { Depth.total = 0.; toffoli = 0. }
   in
   (* [clock] is the running weighted instruction count — the span timeline's
      time axis; a gate or measurement under branch probability [w] advances
      it by [w]. *)
-  let clock = ref 0. in
+  (* an all-float record keeps the clock unboxed: updating a [float ref]
+     allocates a fresh box per gate, which dominates large walks *)
+  let clock = { c = 0. } in
+  let memo : (int, node_memo) Hashtbl.t = Hashtbl.create 64 in
+  let use_memo = branch_weight = 0. || fst (Float.frexp branch_weight) = 0.5 in
+  (* Number of syntactic Call sites per node in the deduplicated walk (each
+     distinct body visited once, so the prepass is O(dag), allocation-free).
+     A node referenced from a single site gains nothing from the
+     neutral-frame memo — memoize-then-rebase would materialize its span
+     entries twice — so the walk below inlines those and memoizes only
+     nodes with two or more sites. *)
+  let occurrences : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec count_sites = function
+    | Instr.Gate _ | Instr.Measure _ -> ()
+    | Instr.If_bit { body; _ } | Instr.Span { body; _ } ->
+        List.iter count_sites body
+    | Instr.Call node ->
+        let n = try Hashtbl.find occurrences node.Instr.id with Not_found -> 0 in
+        Hashtbl.replace occurrences node.Instr.id (n + 1);
+        if n = 0 then List.iter count_sites node.Instr.body
+  in
+  if use_memo then List.iter count_sites instrs;
+  let rec rebase ~w ~at ~path e =
+    if w = 1. then
+      { e with
+        path = path @ e.path;
+        start = at +. e.start;
+        children = List.map (rebase ~w ~at ~path) e.children }
+    else
+      { e with
+        path = path @ e.path;
+        start = at +. (w *. e.start);
+        dur = w *. e.dur;
+        flat = Counts.scale w e.flat;
+        cum = Counts.scale w e.cum;
+        children = List.map (rebase ~w ~at ~path) e.children }
+  in
   (* returns (flat counts, children in emission order) for one block *)
   let rec walk path w instrs =
     let flat, rev_children =
@@ -37,10 +94,10 @@ let profile ?(mode = Counts.Expected 0.5) instrs =
         (fun (flat, kids) i ->
           match i with
           | Instr.Gate g ->
-              clock := !clock +. w;
+              clock.c <- clock.c +. w;
               (Counts.add flat (Counts.scale w (Counts.of_gate g)), kids)
           | Instr.Measure _ ->
-              clock := !clock +. w;
+              clock.c <- clock.c +. w;
               (Counts.add flat (Counts.scale w { Counts.zero with measure = 1. }),
                kids)
           | Instr.If_bit { body; _ } ->
@@ -49,32 +106,66 @@ let profile ?(mode = Counts.Expected 0.5) instrs =
               let bflat, bkids = walk path (w *. branch_weight) body in
               (Counts.add flat bflat, List.rev_append bkids kids)
           | Instr.Span { label; peak_ancillas; body } ->
-              let start = !clock in
+              let start = clock.c in
               let cpath = path @ [ label ] in
               let bflat, bkids = walk cpath w body in
-              let d = Depth.of_instrs ~mode:(depth_mode mode) body in
+              let d = depth_of body in
               let e =
-                { label; path = cpath; start; dur = !clock -. start;
+                { label; path = cpath; start; dur = clock.c -. start;
                   flat = bflat; cum = cum_of bflat bkids; peak_ancillas;
                   total_depth = d.Depth.total; toffoli_depth = d.Depth.toffoli;
                   calls = 1; children = bkids }
               in
-              (flat, e :: kids))
+              (flat, e :: kids)
+          | Instr.Call node ->
+              if
+                use_memo
+                && (try Hashtbl.find occurrences node.Instr.id
+                    with Not_found -> 0)
+                   > 1
+              then begin
+                let m = memo_of node in
+                let at = clock.c in
+                clock.c <- at +. (w *. m.m_dur);
+                let bkids = List.map (rebase ~w ~at ~path) m.m_children in
+                let mflat =
+                  if w = 1. then m.m_flat else Counts.scale w m.m_flat
+                in
+                (Counts.add flat mflat, List.rev_append bkids kids)
+              end
+              else
+                let bflat, bkids = walk path w node.Instr.body in
+                (Counts.add flat bflat, List.rev_append bkids kids))
         (Counts.zero, []) instrs
     in
     (flat, List.rev rev_children)
+  and memo_of node =
+    match Hashtbl.find_opt memo node.Instr.id with
+    | Some m -> m
+    | None ->
+        let saved = clock.c in
+        clock.c <- 0.;
+        let flat, children = walk [] 1. node.Instr.body in
+        let m = { m_flat = flat; m_dur = clock.c; m_children = children } in
+        clock.c <- saved;
+        Hashtbl.add memo node.Instr.id m;
+        m
   in
   let flat, children = walk [] 1. instrs in
-  let d = Depth.of_instrs ~mode:(depth_mode mode) instrs in
+  let d =
+    if span_depth then Depth.of_instrs ~mode:(depth_mode mode) instrs
+    else { Depth.total = 0.; toffoli = 0. }
+  in
   let peak =
     List.fold_left (fun m e -> max m e.peak_ancillas) 0 children
   in
-  { label = root_label; path = []; start = 0.; dur = !clock; flat;
+  { label = root_label; path = []; start = 0.; dur = clock.c; flat;
     cum = cum_of flat children; peak_ancillas = peak;
     total_depth = d.Depth.total; toffoli_depth = d.Depth.toffoli; calls = 1;
     children }
 
-let of_circuit ?mode (c : Circuit.t) = profile ?mode c.Circuit.instrs
+let of_circuit ?mode ?span_depth (c : Circuit.t) =
+  profile ?mode ?span_depth c.Circuit.instrs
 
 let rec flatten e = e :: List.concat_map flatten e.children
 

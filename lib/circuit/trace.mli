@@ -37,12 +37,24 @@ type entry = {
 val root_label : string
 (** Label of the synthetic root entry, ["(root)"]. *)
 
-val profile : ?mode:Counts.mode -> Instr.t list -> entry
+val profile : ?mode:Counts.mode -> ?span_depth:bool -> Instr.t list -> entry
 (** Build the profile tree. [mode] defaults to [Counts.Expected 0.5], the
     paper's cost model for measurement-conditioned blocks. The returned root
-    covers the whole program: [root.cum = Counts.of_instrs ~mode instrs]. *)
+    covers the whole program: [root.cum = Counts.of_instrs ~mode instrs].
 
-val of_circuit : ?mode:Counts.mode -> Circuit.t -> entry
+    Shared blocks ({!Instr.Call}) are profiled once per distinct node and
+    every reference reuses the memoized subtree, rebased to its own start
+    time and branch weight — counts, durations and attribution are identical
+    to profiling the expanded tree.
+
+    [span_depth] (default [true]) controls the per-span isolated ASAP depth
+    columns ([total_depth]/[toffoli_depth]). They are the one metric that
+    defeats memoization — an ancestor span's depth walks its entire
+    expansion — so cryptographic-scale sweeps that only need counts and
+    attribution can pass [~span_depth:false], which reports those two fields
+    as [0.] and skips the walks. *)
+
+val of_circuit : ?mode:Counts.mode -> ?span_depth:bool -> Circuit.t -> entry
 
 val flatten : entry -> entry list
 (** Pre-order listing of an entry and all its descendants. *)

@@ -10,11 +10,15 @@ let style_name = function
   | Gidney -> "gidney"
   | Draper -> "draper"
 
-(* Wrap an emission in a span named after the subroutine and the adder
-   style, e.g. "adder.add[gidney]" — the unit of attribution that
-   [Trace.profile] reports on. *)
+(* Wrap an emission in a shared span named after the subroutine and the
+   adder style, e.g. "adder.add[gidney]" — the unit of attribution that
+   [Trace.profile] reports on. Sharing means a loop that emits the same op
+   on the same wires (the LIFO ancilla pool keeps wire numbers stable
+   across iterations, and constant addends enter through X/CNOT load
+   layers outside the inner add) interns the block once and every later
+   iteration is an O(1) reference. *)
 let spanned b name style f =
-  Builder.with_span b (Printf.sprintf "%s[%s]" name (style_name style)) f
+  Builder.with_shared b (Printf.sprintf "%s[%s]" name (style_name style)) f
 
 (* All four plain adders implement y <- (x + y) mod 2^(n+1) even when the
    most significant qubit of y starts dirty: the top carry is XORed into y_n
@@ -52,14 +56,20 @@ let check_const name ~a reg =
   if a < 0 || (n < 62 && a lsr n <> 0) then
     invalid_arg (Printf.sprintf "%s: constant %d does not fit %d qubits" name a n)
 
+(* Load layers are anonymous shared blocks: every constant op emits its
+   load twice (loads are self-inverse X/CNOT layers), and a product loop's
+   add/compare pair loads the same addend four times onto pool-stable
+   wires, so interning collapses them to one node each. *)
 let load_const b ~a reg =
   check_const "Adder.load_const" ~a reg;
+  Builder.shared b @@ fun () ->
   for i = 0 to Register.length reg - 1 do
     if (a lsr i) land 1 = 1 then Builder.x b (Register.get reg i)
   done
 
 let load_const_controlled b ~ctrl ~a reg =
   check_const "Adder.load_const_controlled" ~a reg;
+  Builder.shared b @@ fun () ->
   for i = 0 to Register.length reg - 1 do
     if (a lsr i) land 1 = 1 then
       Builder.cnot b ~control:ctrl ~target:(Register.get reg i)

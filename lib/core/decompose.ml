@@ -43,6 +43,9 @@ let and_4t ~c1 ~c2 ~target =
 
 let circuit ?(fresh_target_and = false) (c : Circuit.t) =
   let expand = if fresh_target_and then and_4t else toffoli_7t in
+  (* A shared block rewrites to a shared block: the rewritten body is
+     re-interned once per distinct node and every reference reuses it. *)
+  let memo : (int, Instr.t) Hashtbl.t = Hashtbl.create 32 in
   let rec rewrite = function
     | [] -> []
     | Instr.Gate (Gate.Toffoli { c1; c2; target }) :: rest ->
@@ -53,6 +56,16 @@ let circuit ?(fresh_target_and = false) (c : Circuit.t) =
         Instr.If_bit { bit; value; body = rewrite body } :: rewrite rest
     | Instr.Span { label; peak_ancillas; body } :: rest ->
         Instr.Span { label; peak_ancillas; body = rewrite body } :: rewrite rest
+    | Instr.Call node :: rest ->
+        let i =
+          match Hashtbl.find_opt memo node.Instr.id with
+          | Some i -> i
+          | None ->
+              let i = Instr.share (rewrite node.Instr.body) in
+              Hashtbl.add memo node.Instr.id i;
+              i
+        in
+        i :: rewrite rest
   in
   Circuit.make ~num_qubits:c.Circuit.num_qubits ~num_bits:c.Circuit.num_bits
     (rewrite c.Circuit.instrs)
@@ -72,6 +85,7 @@ let t_count ~mode instrs =
     | Instr.Gate g :: rest -> (if is_t g then w else 0.) +. count w rest
     | Instr.Measure _ :: rest -> count w rest
     | Instr.If_bit { body; _ } :: rest -> count (w *. weight) body +. count w rest
-    | Instr.Span { body; _ } :: rest -> count w body +. count w rest
+    | (Instr.Span { body; _ } | Instr.Call { body; _ }) :: rest ->
+        count w body +. count w rest
   in
   count 1. instrs

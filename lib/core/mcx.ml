@@ -1,21 +1,43 @@
 open Mbu_circuit
 
 (* Conjunction ladder: fold the controls pairwise into fresh AND ancillas,
-   erased in reverse by MBU. *)
-let rec with_conjunction b ~controls f =
+   erased in reverse by MBU. The compute ladder is measurement-free and
+   emitted as one shared block, so repeated applications of the same
+   multi-controlled gate (e.g. a Grover oracle iterated k times) intern it
+   once; the uncompute ladder measures and stays per-occurrence. *)
+let with_conjunction b ~controls f =
   match controls with
   | [] ->
       (* empty conjunction is true: use a borrowed |1> wire *)
       Builder.with_ancilla b (fun w ->
           Builder.x b w;
-          f w;
-          Builder.x b w)
+          let r = f w in
+          Builder.x b w;
+          r)
   | [ c ] -> f c
   | c1 :: c2 :: rest ->
-      Builder.with_ancilla b (fun t ->
-          Logical_and.compute b ~c1 ~c2 ~target:t;
-          with_conjunction b ~controls:(t :: rest) f;
-          Logical_and.uncompute b ~c1 ~c2 ~target:t)
+      (* One AND ancilla per folded control; triples in compute order. *)
+      let triples = ref [] in
+      let top =
+        List.fold_left
+          (fun prev c ->
+            let t = Builder.alloc_ancilla b in
+            triples := (prev, c, t) :: !triples;
+            t)
+          c1 (c2 :: rest)
+      in
+      let compute_order = List.rev !triples in
+      Builder.with_shared b "mcx.compute" (fun () ->
+          List.iter
+            (fun (a, c, t) -> Logical_and.compute b ~c1:a ~c2:c ~target:t)
+            compute_order);
+      let r = f top in
+      Builder.with_span b "mcx.uncompute" (fun () ->
+          List.iter
+            (fun (a, c, t) -> Logical_and.uncompute b ~c1:a ~c2:c ~target:t)
+            !triples);
+      List.iter (fun (_, _, t) -> Builder.free_ancilla b t) !triples;
+      r
 
 let apply b ~controls ~target =
   match controls with

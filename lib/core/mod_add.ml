@@ -65,14 +65,14 @@ let modadd ?(mbu = false) spec b ~p ~x ~y =
   Builder.with_span b (span_label "modadd" ~mbu spec) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let ys = Register.extend y high in
-      Builder.with_span b "modadd.add" (fun () -> Adder.add spec.q_add b ~x ~y:ys);
+      Builder.with_shared b "modadd.add" (fun () -> Adder.add spec.q_add b ~x ~y:ys);
       Builder.with_ancilla b (fun t ->
-          Builder.with_span b "modadd.comp_p" (fun () ->
+          Builder.with_shared b "modadd.comp_p" (fun () ->
               compare_with_modulus spec.q_comp_const b ~p ~sum:ys ~target:t;
               Builder.x b t);
-          Builder.with_span b "modadd.csub_p" (fun () ->
+          Builder.with_shared b "modadd.csub_p" (fun () ->
               Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:t ~a:p ~y:ys);
-          Builder.with_span b "modadd.uncomp" (fun () ->
+          Builder.with_shared b "modadd.uncomp" (fun () ->
               uncompute ~mbu b ~garbage:t ~ug:(fun () ->
                   Adder.compare spec.q_comp b ~x ~y ~target:t))))
 
@@ -86,15 +86,15 @@ let modadd_controlled ?(mbu = false) spec b ~ctrl ~p ~x ~y =
   Builder.with_span b (span_label "cmodadd" ~mbu spec) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let ys = Register.extend y high in
-      Builder.with_span b "modadd.add" (fun () ->
+      Builder.with_shared b "modadd.add" (fun () ->
           Adder.add_controlled spec.q_add b ~ctrl ~x ~y:ys);
       Builder.with_ancilla b (fun t ->
-          Builder.with_span b "modadd.comp_p" (fun () ->
+          Builder.with_shared b "modadd.comp_p" (fun () ->
               compare_with_modulus spec.q_comp_const b ~p ~sum:ys ~target:t;
               Builder.x b t);
-          Builder.with_span b "modadd.csub_p" (fun () ->
+          Builder.with_shared b "modadd.csub_p" (fun () ->
               Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:t ~a:p ~y:ys);
-          Builder.with_span b "modadd.uncomp" (fun () ->
+          Builder.with_shared b "modadd.uncomp" (fun () ->
               uncompute ~mbu b ~garbage:t ~ug:(fun () ->
                   Adder.compare_controlled spec.q_comp b ~ctrl ~x ~y ~target:t))))
 
@@ -107,15 +107,15 @@ let modadd_const ?(mbu = false) spec b ~p ~a ~x =
   Builder.with_span b (span_label "modadd_const" ~mbu spec) @@ fun () ->
   Builder.with_ancilla b (fun high ->
       let xs = Register.extend x high in
-      Builder.with_span b "modadd.add" (fun () ->
+      Builder.with_shared b "modadd.add" (fun () ->
           Adder.add_const spec.q_add b ~a ~y:xs);
       Builder.with_ancilla b (fun t ->
-          Builder.with_span b "modadd.comp_p" (fun () ->
+          Builder.with_shared b "modadd.comp_p" (fun () ->
               compare_with_modulus spec.q_comp_const b ~p ~sum:xs ~target:t;
               Builder.x b t);
-          Builder.with_span b "modadd.csub_p" (fun () ->
+          Builder.with_shared b "modadd.csub_p" (fun () ->
               Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:t ~a:p ~y:xs);
-          Builder.with_span b "modadd.uncomp" (fun () ->
+          Builder.with_shared b "modadd.uncomp" (fun () ->
               uncompute ~mbu b ~garbage:t ~ug:(fun () ->
                   Adder.compare_const spec.q_comp b ~a ~x ~target:t))))
 
@@ -152,9 +152,14 @@ let modadd_const_controlled ?(mbu = false) spec b ~ctrl ~p ~a ~x =
       let xs = Register.extend x high in
       Adder.add_const_controlled spec.q_add b ~ctrl ~a ~y:xs;
       Builder.with_ancilla b (fun t ->
-          compare_with_modulus spec.q_comp_const b ~p ~sum:xs ~target:t;
-          Builder.x b t;
-          Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:t ~a:p ~y:xs;
+          (* The reduce stage depends only on p, never on the addend a, so
+             across the n iterations of a product loop it is one shared
+             node referenced n times. *)
+          Builder.with_shared b "modadd.reduce" (fun () ->
+              compare_with_modulus spec.q_comp_const b ~p ~sum:xs ~target:t;
+              Builder.x b t;
+              Adder.sub_const_controlled spec.c_q_sub_const b ~ctrl:t ~a:p
+                ~y:xs);
           uncompute ~mbu b ~garbage:t ~ug:(fun () ->
               Adder.compare_const_controlled spec.q_comp b ~ctrl ~a ~x ~target:t)))
 

@@ -63,6 +63,10 @@ let cmult_sub engine b ~ctrl ~a ~p ~x ~target =
   cmult_gen engine b ~ctrl ~a:((p - (a mod p)) mod p) ~p ~x ~target
 
 let controlled_swap b ~ctrl ~x ~t =
+  (* Shared: modexp swaps the same register pair under a different control
+     each round, but for a fixed (ctrl, x, t) wire triple — e.g. the two
+     swaps inside one cmult_inplace round — the ladder is one node. *)
+  Builder.with_shared b "cswap_reg" @@ fun () ->
   for i = 0 to Register.length x - 1 do
     let xi = Register.get x i and ti = Register.get t i in
     Builder.cnot b ~control:ti ~target:xi;

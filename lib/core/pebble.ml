@@ -227,6 +227,9 @@ let compile b ~chain ~input strategy =
   let prev i = if i = 1 then input else node (i - 1) in
   let last_bit = Array.make (m + 1) (-1) in
   let apply_f i =
+    (* Shared per node: spooky strategies re-pebble interior nodes several
+       times, and every (un)pebble of node i is the same 1-2 gates. *)
+    Builder.with_shared b "pebble.apply_f" @@ fun () ->
     let a, c = chain.(i - 1) in
     if a then Builder.cnot b ~control:(prev i) ~target:(node i);
     if c then Builder.x b (node i)

@@ -54,6 +54,10 @@ let unlookup_via_lookup b ~address ~target ~data = lookup b ~address ~target ~da
 (* One-hot (unary) encoding of the low address bits: a ladder of controlled
    swaps walks the indicator from position 0 to position a_lo. *)
 let onehot_prepare b ~low_bits ~unary =
+  (* Shared: unlookup runs one phase_lookup per payload column over the
+     same address/unary wires, so the ladder is built once and referenced
+     once per column (and its adjoint likewise). *)
+  Builder.with_shared b "qrom.onehot" @@ fun () ->
   Builder.x b (Register.get unary 0);
   Array.iteri
     (fun bidx ab ->

@@ -129,6 +129,11 @@ let run ?rng ?on_event ?(engine = Fast) (c : Circuit.t) ~init =
             f (Span_exit { label; path = spath })
         | None -> exec path body);
         exec path rest
+    | Instr.Call { body; _ } :: rest ->
+        (* Lazy expansion: a reference executes its body in place; nothing
+           is materialized, so sharing is free at simulation time too. *)
+        exec path body;
+        exec path rest
   in
   exec [] c.instrs;
   { state = !state; bits; executed = counts_of_tally executed }
