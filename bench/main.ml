@@ -904,6 +904,101 @@ let experiment_build_bench () =
   fpf "  (written to BENCH_build.json)@."
 
 (* ------------------------------------------------------------------ *)
+(* E-FAULT: fault-injection campaigns, forced branches, invariant lint *)
+
+let experiment_faults () =
+  let open Mbu_robustness in
+  header "E-FAULT: fault injection / forced branches / invariant linting";
+  let n = 5 in
+  let p = modulus n in
+  let runs = 300 in
+  let seed = 7 in
+  fpf "  n = %d, p = %d; lint + forced-branch check + %d single-fault runs \
+       per family (seed %d)@."
+    n p runs seed;
+  fpf "  %-22s | %5s | %4s | %7s %7s %7s | %9s %7s@." "family" "sites" "arms"
+    "correct" "detect" "silent" "detection" "silent%";
+  let rows =
+    List.map
+      (fun e ->
+        let spec = e.Catalogue.make ~n ~p in
+        (* Lint must be clean on every catalogue circuit... *)
+        let lint_report = Catalogue.lint spec in
+        if not (Lint.is_clean lint_report) then begin
+          fpf "%s@." (Lint.to_string lint_report);
+          failwith
+            (Printf.sprintf "lint errors in catalogue circuit %s"
+               e.Catalogue.name)
+        end;
+        (* ...and forcing outcomes must drive both arms of every If_bit
+           with the oracle holding on each. *)
+        let cov = Engine.check_forced_branches spec in
+        if not (Engine.covered cov) then
+          failwith
+            (Printf.sprintf
+               "forced-branch coverage failed for %s (%d arms, %d uncovered, \
+                correct: %b/%b)"
+               e.Catalogue.name
+               (List.length cov.Engine.arms)
+               (List.length cov.Engine.uncovered)
+               cov.Engine.correct_on_true cov.Engine.correct_on_false);
+        let r =
+          Engine.run_campaign ~seed
+            ~plan:(Engine.Random { runs; faults_per_run = 1 })
+            spec
+        in
+        fpf "  %-22s | %5d | %4d | %7d %7d %7d | %9.3f %6.1f%%@."
+          e.Catalogue.title r.Engine.sites
+          (List.length cov.Engine.arms)
+          r.Engine.correct r.Engine.detected r.Engine.silent
+          (Engine.detection_rate r)
+          (100. *. Engine.silent_rate r);
+        (e, r))
+      Catalogue.all
+  in
+  (* Acceptance probe: every single-X fault site of a VBE modular adder —
+     final-comparator ancillas included — must classify without aborting. *)
+  let vbe = List.hd Catalogue.table1 in
+  let rx =
+    Engine.run_campaign ~seed
+      ~plan:(Engine.Exhaustive { paulis = [ Fault.X ] })
+      (vbe.Catalogue.make ~n ~p)
+  in
+  assert (rx.Engine.correct + rx.Engine.detected + rx.Engine.silent = rx.Engine.runs);
+  fpf "  exhaustive single-X on %s: %d runs over %d sites, all classified \
+       (%d correct / %d detected / %d silent)@."
+    vbe.Catalogue.title rx.Engine.runs rx.Engine.sites rx.Engine.correct
+    rx.Engine.detected rx.Engine.silent;
+  let oc = open_out "BENCH_faults.json" in
+  Printf.fprintf oc "{\n  \"workload\": \"catalogue-fault-campaigns\",\n";
+  Printf.fprintf oc "  \"n\": %d,\n  \"p\": %d,\n  \"runs_per_family\": %d,\n"
+    n p runs;
+  Printf.fprintf oc "  \"seed\": %d,\n  \"lint_clean\": true,\n" seed;
+  Printf.fprintf oc
+    "  \"exhaustive_x_vbe\": {\"sites\": %d, \"runs\": %d, \"correct\": %d, \
+     \"detected\": %d, \"silent\": %d},\n"
+    rx.Engine.sites rx.Engine.runs rx.Engine.correct rx.Engine.detected
+    rx.Engine.silent;
+  Printf.fprintf oc "  \"families\": [\n";
+  List.iteri
+    (fun i (e, r) ->
+      Printf.fprintf oc
+        "    {\"family\": \"%s\", \"sites\": %d, \"runs\": %d, \"correct\": \
+         %d, \"detected\": %d, \"silent\": %d, \"detection_rate\": %.4f, \
+         \"silent_rate\": %.4f}%s\n"
+        (json_escape e.Catalogue.title)
+        r.Engine.sites r.Engine.runs r.Engine.correct r.Engine.detected
+        r.Engine.silent (Engine.detection_rate r) (Engine.silent_rate r)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  fpf "  (correct = fault absorbed; detected = clean error, dirty ancilla \
+       or detector;@.";
+  fpf "   silent = wrong output with nothing noticed; written to \
+       BENCH_faults.json)@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benchmarks *)
 
 let bechamel_tests () =
@@ -1079,7 +1174,8 @@ let report_phase_times () =
 
 let () =
   (* `--sim-only` runs just the simulator micro-bench (CI benchmark smoke);
-     `--build-only` runs just the DAG build/metric bench. *)
+     `--build-only` just the DAG build/metric bench; `--faults-only` just
+     the fault-injection / lint campaign. *)
   if Array.exists (String.equal "--build-only") Sys.argv then begin
     timed "build_bench" experiment_build_bench;
     report_phase_times ();
@@ -1088,6 +1184,12 @@ let () =
   end;
   if Array.exists (String.equal "--sim-only") Sys.argv then begin
     timed "sim_bench" experiment_sim_bench;
+    report_phase_times ();
+    fpf "@.done.@.";
+    exit 0
+  end;
+  if Array.exists (String.equal "--faults-only") Sys.argv then begin
+    timed "faults" experiment_faults;
     report_phase_times ();
     fpf "@.done.@.";
     exit 0
@@ -1113,6 +1215,7 @@ let () =
   timed "ablations" experiment_ablations;
   timed "build_bench" experiment_build_bench;
   timed "sim_bench" experiment_sim_bench;
+  timed "faults" experiment_faults;
   timed "bechamel" run_bechamel;
   report_phase_times ();
   fpf "@.done.@."

@@ -406,9 +406,123 @@ let profile_cmd =
              ancilla peaks, depth) as a tree or Chrome trace JSON.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection and linting *)
+
+(* Inputs and oracle for a robustness spec of any CLI circuit family: the
+   declared output registers of a fault-free run are the reference (valid
+   because healthy outputs are outcome-independent), and every input
+   register must come back unchanged unless it is also an output. *)
+let spec_of_built ~name (built : built) =
+  let open Mbu_robustness in
+  let base =
+    Engine.spec_of_builder ~name built.builder ~inits:built.inits
+      ~keep:built.registers ~expect:[]
+  in
+  let unchanged =
+    List.filter
+      (fun (reg, _) -> not (List.memq reg built.outputs))
+      built.inits
+  in
+  let expect = unchanged @ Engine.oracle_outputs base built.outputs in
+  { base with Engine.expect }
+
+let inject_cmd =
+  let run circuit style mbu n p a x_val y_val runs faults_per_run seed jobs
+      exhaustive =
+    let built = build_circuit ~circuit ~style ~mbu ~n ~p ~a ~x_val ~y_val in
+    let spec = spec_of_built ~name:circuit built in
+    let open Mbu_robustness in
+    let plan =
+      if exhaustive then Engine.Exhaustive { paulis = [ Fault.X; Fault.Y; Fault.Z ] }
+      else Engine.Random { runs; faults_per_run }
+    in
+    let r = Engine.run_campaign ~seed ?jobs ~plan spec in
+    Format.printf "circuit     : %s (%s%s), n = %d@." circuit
+      (Adder.style_name style) (if mbu then ", MBU" else "") n;
+    Format.printf "fault sites : %d (%s campaign, %d runs, seed %d)@." r.Engine.sites
+      (if exhaustive then "exhaustive" else
+         Printf.sprintf "random, %d fault%s/run" faults_per_run
+           (if faults_per_run = 1 then "" else "s"))
+      r.Engine.runs seed;
+    Format.printf "correct     : %5d (fault absorbed)@." r.Engine.correct;
+    Format.printf "detected    : %5d (error raised, dirty ancilla or detector)@."
+      r.Engine.detected;
+    Format.printf "silent      : %5d (wrong output, nothing noticed)@." r.Engine.silent;
+    Format.printf "detection   : %.3f of consequential faults; silent rate %.3f@."
+      (Engine.detection_rate r) (Engine.silent_rate r);
+    List.iter
+      (fun plan ->
+        Format.printf "  silent example: %s@."
+          (String.concat " + " (List.map Fault.to_string plan)))
+      r.Engine.silent_examples
+  in
+  let runs_arg =
+    Arg.(value & opt int 200
+         & info [ "runs" ] ~doc:"Monte-Carlo fault runs (random campaign).")
+  in
+  let faults_arg =
+    Arg.(value & opt int 1
+         & info [ "faults" ] ~doc:"Faults injected per run (random campaign).")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ] ~doc:"Worker domains (results are JOBS-independent).")
+  in
+  let exhaustive_arg =
+    Arg.(value & flag
+         & info [ "exhaustive" ]
+             ~doc:"One run per fault site (X, Y and Z on every gate wire, an \
+                   outcome flip per measurement, a skip per conditional) \
+                   instead of random sampling.")
+  in
+  let term =
+    Term.(const run $ circuit_arg $ style_arg $ mbu_arg $ n_arg $ p_arg $ a_arg
+          $ x_arg $ y_arg $ runs_arg $ faults_arg $ seed_arg $ jobs_arg
+          $ exhaustive_arg)
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:"Fault-injection campaign: classify every run as correct, \
+             detected, or silently corrupted against the classical oracle.")
+    term
+
+let lint_cmd =
+  let run circuit style mbu n p a =
+    let { builder; _ } =
+      build_circuit ~circuit ~style ~mbu ~n ~p ~a ~x_val:0 ~y_val:0
+    in
+    let report =
+      Lint.check ~input_qubits:(Builder.input_qubits builder)
+        (Builder.to_circuit builder)
+    in
+    print_string (Lint.to_string report);
+    if not (Lint.is_clean report) then exit 1
+  in
+  let term =
+    Term.(const run $ circuit_arg $ style_arg $ mbu_arg $ n_arg $ p_arg $ a_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static invariant checks: ancilla leaks, conditionals on \
+             unwritten bits, use-after-measure, index escapes. Exits 1 on \
+             any error finding.")
+    term
+
 let () =
   let doc = "quantum modular arithmetic with measurement-based uncomputation" in
   let info = Cmd.info "mbu-cli" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info [ counts_cmd; draw_cmd; simulate_cmd; qasm_cmd; profile_cmd ]))
+  let group =
+    Cmd.group info
+      [ counts_cmd; draw_cmd; simulate_cmd; qasm_cmd; profile_cmd; inject_cmd;
+        lint_cmd ]
+  in
+  (* Structured errors print as one clean line, not a backtrace. *)
+  match Cmd.eval_value ~catch:false group with
+  | Ok (`Ok () | `Help | `Version) -> exit 0
+  | Error `Parse -> exit Cmd.Exit.cli_error
+  | Error (`Term | `Exn) -> exit Cmd.Exit.internal_error
+  | exception Mbu_error.Error e ->
+      prerr_endline ("mbu-cli: " ^ Mbu_error.to_string e);
+      exit 2

@@ -17,7 +17,8 @@ let create () =
 
 let fresh_qubit b =
   if b.live_ancillas > 0 || b.free_pool <> [] then
-    invalid_arg "Builder.fresh_qubit: allocate inputs before ancillas";
+    Mbu_error.invalid ~subsystem:"Builder.fresh_qubit" ~qubit:b.next_qubit
+      "allocate inputs before ancillas";
   let q = b.next_qubit in
   b.next_qubit <- q + 1;
   b.input_qubits <- b.input_qubits + 1;
@@ -45,7 +46,8 @@ let alloc_ancilla b =
       q
 
 let free_ancilla b q =
-  if Hashtbl.mem b.free_set q then invalid_arg "Builder.free_ancilla: double free";
+  if Hashtbl.mem b.free_set q then
+    Mbu_error.invalid ~subsystem:"Builder.free_ancilla" ~qubit:q "double free";
   b.live_ancillas <- b.live_ancillas - 1;
   b.free_pool <- q :: b.free_pool;
   Hashtbl.replace b.free_set q ()
@@ -192,7 +194,8 @@ let with_shared b label f =
       raise e
 
 let repeat ?label b ~times f =
-  if times < 1 then invalid_arg "Builder.repeat: times must be >= 1";
+  if times < 1 then
+    Mbu_error.invalid ~subsystem:"Builder.repeat" "times must be >= 1";
   enter b;
   let outer_peak = b.peak_live in
   b.peak_live <- b.live_ancillas;
@@ -210,7 +213,8 @@ let repeat ?label b ~times f =
          cannot be repeated by reference: each physical repetition would
          need fresh bits. *)
       if not (Instr.is_unitary body) then
-        invalid_arg "Builder.repeat: body contains measurements";
+        Mbu_error.invalid ~subsystem:"Builder.repeat"
+          "body contains measurements";
       let r = Instr.share body in
       for _ = 1 to times do
         push b r
@@ -228,4 +232,6 @@ let to_circuit b =
          takes the trusted path. *)
       Circuit.make ~validate:false ~num_qubits:b.next_qubit
         ~num_bits:b.next_bit (List.rev top)
-  | _ -> invalid_arg "Builder.to_circuit: unbalanced capture/if block"
+  | _ ->
+      Mbu_error.invalid ~subsystem:"Builder.to_circuit"
+        "unbalanced capture/if block"

@@ -12,7 +12,11 @@
     the quantity the paper's "ancillas"/"logical qubits" columns measure.
     {!free_ancilla} must only be called on wires that the emitted circuit
     returns to |0> (this is checked at simulation time by
-    [Sim.run_on_basis ~check_ancillas]). *)
+    [Sim.run_on_basis ~check_ancillas]).
+
+    Misuse (double free, inputs allocated after ancillas, repeating a
+    measuring body, unbalanced capture) raises {!Mbu_error.Error} with the
+    offending wire attached. *)
 
 type t
 
@@ -95,7 +99,7 @@ val repeat : ?label:string -> t -> times:int -> (unit -> 'a) -> 'a
 (** [repeat b ~times f] runs [f] {e once}, interns what it emitted
     (optionally wrapped in a span [label]) and pushes [times] references to
     it. The body must be measurement-free — a reference replays the same
-    classical bits, so measuring bodies raise [Invalid_argument]. [times]
+    classical bits, so measuring bodies raise {!Mbu_error.Error}. [times]
     must be at least 1 (the builder's allocation effects of [f] happen
     regardless). *)
 

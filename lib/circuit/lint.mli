@@ -1,0 +1,67 @@
+(** Static invariant linter for adaptive circuits.
+
+    [check] abstractly interprets the program once on the classical track —
+    every wire and classical bit carries [Zero], [One] or [Top] (unknown) —
+    joining over both arms of every conditional. The checks:
+
+    - {b ancilla-leak} (error): an ancilla wire (index at or above
+      [input_qubits]) ends the program {e provably} in |1>. Ancillas the
+      analysis cannot decide (Top — e.g. MBU garbage wires, whose return to
+      |0> relies on the H·U_g·H cancellation the abstract domain cannot
+      see) are not reported: only definite violations are errors, which is
+      what keeps the linter clean on every catalogue circuit while still
+      catching a forgotten uncompute of a definite value.
+    - {b unwritten-bit} (error): an [If_bit] conditions on a classical bit
+      no measurement ever wrote.
+    - {b wire-escape} / {b bit-escape} (error): a gate, measurement or
+      conditional touches a wire / bit outside the declared widths. (A
+      [Circuit.t] built through [Circuit.make] cannot contain these; the
+      checks guard raw instruction lists via {!check_instrs}.)
+    - {b use-after-measure} (warning): a gate acts on a measured-and-not-
+      reset wire outside any conditional keyed on that measurement's bit —
+      i.e. the collapsed wire is reused before (or without) the correction
+      block that consumes the outcome. Once a conditional on the bit has
+      run, the wire is considered handled.
+    - {b bit-overwrite} (warning): a measurement writes a classical bit
+      that already holds an outcome.
+
+    Conditional bodies are re-analysed per call site (the abstract state
+    differs), so shared [Call] nodes do not reduce lint work; findings are
+    deduplicated, so a shared block referenced many times reports each
+    problem once. *)
+
+type severity = Error | Warning
+
+type finding = {
+  check : string;  (** ["ancilla-leak"], ["unwritten-bit"], ... *)
+  severity : severity;
+  message : string;
+  qubit : int option;
+  bit : int option;
+}
+
+type report = {
+  num_qubits : int;
+  num_bits : int;
+  input_qubits : int;
+  findings : finding list;  (** program order, deduplicated *)
+}
+
+val check : ?input_qubits:int -> Circuit.t -> report
+(** [input_qubits] marks wires [0 .. input_qubits - 1] as circuit inputs
+    (abstract value Top); the rest are ancillas assumed to start |0>.
+    Defaults to {e all} wires, which disables the ancilla-leak check —
+    pass the builder's [Builder.input_qubits] to enable it. *)
+
+val check_instrs :
+  ?input_qubits:int -> num_qubits:int -> num_bits:int -> Instr.t list -> report
+(** Lint a raw instruction list against explicit widths (escape checks can
+    actually fire here). *)
+
+val is_clean : report -> bool
+(** No [Error]-severity findings (warnings allowed). *)
+
+val errors : report -> finding list
+
+val to_string : report -> string
+(** Human-readable, one line per finding plus a summary line. *)

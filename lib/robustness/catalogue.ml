@@ -1,0 +1,82 @@
+open Mbu_circuit
+open Mbu_core
+
+type entry = {
+  name : string;
+  title : string;
+  make : n:int -> p:int -> Engine.spec;
+}
+
+(* Deterministic inputs with x + y >= p (for p >= 3), so the comparator and
+   the conditional subtract-p path both do real work. *)
+let default_inputs ~p =
+  let x = 2 * (p - 1) / 3 and y = ((p - 1) / 2) + 1 in
+  (x mod p, y mod p)
+
+let default_constant ~p = max 1 (p / 3) mod p
+
+let vbe_spec =
+  Mod_add.{ q_add = Adder.Vbe; q_comp_const = Adder.Vbe;
+            c_q_sub_const = Adder.Vbe; q_comp = Adder.Vbe }
+
+let modadd_entry name title build =
+  let make ~n ~p =
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    let y = Builder.fresh_register b "y" n in
+    build b ~p ~x ~y;
+    let xv, yv = default_inputs ~p in
+    Engine.spec_of_builder ~name b
+      ~inits:[ (x, xv); (y, yv) ]
+      ~keep:[ x; y ]
+      ~expect:[ (x, xv); (y, (xv + yv) mod p) ]
+  in
+  { name; title; make }
+
+let const_entry name title build =
+  let make ~n ~p =
+    let b = Builder.create () in
+    let x = Builder.fresh_register b "x" n in
+    let a = default_constant ~p in
+    build b ~p ~a ~x;
+    let xv, _ = default_inputs ~p in
+    Engine.spec_of_builder ~name b
+      ~inits:[ (x, xv) ]
+      ~keep:[ x ]
+      ~expect:[ (x, (xv + a) mod p) ]
+  in
+  { name; title; make }
+
+let table1 =
+  [ modadd_entry "vbe5" "(5 adder) VBE"
+      (fun b ~p ~x ~y -> Mod_add.modadd_vbe_5adder ~mbu:true b ~p ~x ~y);
+    modadd_entry "vbe4" "(4 adder) VBE"
+      (fun b ~p ~x ~y -> Mod_add.modadd_vbe_4adder ~mbu:true b ~p ~x ~y);
+    modadd_entry "cdkpm" "CDKPM"
+      (fun b ~p ~x ~y -> Mod_add.modadd ~mbu:true Mod_add.spec_cdkpm b ~p ~x ~y);
+    modadd_entry "gidney" "Gidney"
+      (fun b ~p ~x ~y -> Mod_add.modadd ~mbu:true Mod_add.spec_gidney b ~p ~x ~y);
+    modadd_entry "mixed" "CDKPM+Gidney"
+      (fun b ~p ~x ~y -> Mod_add.modadd ~mbu:true Mod_add.spec_mixed b ~p ~x ~y);
+    modadd_entry "draper" "Draper"
+      (fun b ~p ~x ~y -> Mod_add.modadd_draper ~mbu:true b ~p ~x ~y) ]
+
+let const_adders =
+  [ const_entry "modadd-const" "modadd-const (CDKPM)"
+      (fun b ~p ~a ~x -> Mod_add.modadd_const ~mbu:true Mod_add.spec_cdkpm b ~p ~a ~x);
+    const_entry "takahashi" "Takahashi"
+      (fun b ~p ~a ~x ->
+        Mod_add.modadd_const_takahashi ~mbu:true vbe_spec b ~p ~a ~x) ]
+
+let all = table1 @ const_adders
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let lint (spec : Engine.spec) =
+  (* Every catalogue builder allocates its input registers first, so the
+     input block is exactly the kept registers' wires: 2n for the
+     two-register modadds, n for the constant adders. *)
+  let input_qubits =
+    List.fold_left (fun acc r -> acc + Register.length r) 0 spec.Engine.keep
+  in
+  Lint.check ~input_qubits spec.Engine.circuit

@@ -1,0 +1,38 @@
+(** Campaign specs for the paper's Table-1 modular-adder catalogue.
+
+    One entry per modular-adder family — the five ripple rows and the
+    Draper row of table 1, plus the two narrow-width constant modular
+    adders (Oumarou–Paler–Basmadjian) whose ancilla discipline is the
+    tightest. All entries are built with [~mbu:true], so every spec
+    contains live MBU conditionals for the fault and forced-branch
+    machinery to exercise, and carry an independently computed classical
+    oracle ((x + y) mod p resp. (x + a) mod p). *)
+
+open Mbu_circuit
+
+type entry = {
+  name : string;  (** CLI-friendly id, e.g. ["vbe5"] *)
+  title : string;  (** table row label, e.g. ["(5 adder) VBE"] *)
+  make : n:int -> p:int -> Engine.spec;
+}
+
+val table1 : entry list
+(** [vbe5], [vbe4], [cdkpm], [gidney], [mixed], [draper]. *)
+
+val const_adders : entry list
+(** [modadd-const] (CDKPM architecture), [takahashi]. *)
+
+val all : entry list
+
+val find : string -> entry option
+
+val default_inputs : p:int -> int * int
+(** The deterministic in-range [(x, y)] every spec initializes with;
+    chosen so x + y >= p, exercising the conditional-subtract path. *)
+
+val default_constant : p:int -> int
+(** The classical addend of the constant-adder entries. *)
+
+val lint : Engine.spec -> Lint.report
+(** Lint a catalogue spec's circuit ([input_qubits] recovered from the
+    entry's register widths). *)

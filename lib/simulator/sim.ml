@@ -1,6 +1,11 @@
 open Mbu_circuit
 
-type run = { state : State.t; bits : bool array; executed : Counts.t }
+type run = {
+  state : State.t;
+  bits : bool array;
+  executed : Counts.t;
+  injected : int;
+}
 
 type event =
   | Gate_applied of Gate.t
@@ -66,10 +71,11 @@ let counts_of_tally t =
     cphase = float_of_int t.t_cphase;
     measure = float_of_int t.t_measure }
 
-let run ?rng ?on_event ?(engine = Fast) (c : Circuit.t) ~init =
+let run ?rng ?on_event ?(engine = Fast) ?force ?(faults = []) ?max_terms
+    (c : Circuit.t) ~init =
   let rng = match rng with Some r -> r | None -> fresh_rng () in
   if State.num_qubits init < c.num_qubits then
-    invalid_arg "Sim.run: state narrower than circuit";
+    Mbu_error.invalid ~subsystem:"Sim.run" "state narrower than circuit";
   let bits = Array.make (max c.num_bits 1) false in
   let executed =
     { t_x = 0; t_z = 0; t_h = 0; t_phase = 0; t_cnot = 0; t_cz = 0;
@@ -94,49 +100,134 @@ let run ?rng ?on_event ?(engine = Fast) (c : Circuit.t) ~init =
     | Fast | Sparse -> State.set_bit_zero_inplace !state ~qubit
     | Reference -> state := State.Reference.set_bit_zero !state ~qubit
   in
-  (* Allocate event blocks only when a hook is installed. *)
-  let rec exec path = function
-    | [] -> ()
+  (* Fault plan, indexed for O(1) lookup during execution. Pauli and skip
+     faults key on the static instruction position (Fault's site
+     numbering, which matches [Instr.count_instrs]); outcome flips key on
+     the classical bit, which is unique per measurement. *)
+  let pauli_at : (int, int * Gate.t list) Hashtbl.t = Hashtbl.create 8 in
+  let flip_bit : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let skip_at : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Fault.Pauli_after { pos; qubit; pauli } ->
+          let n, gs =
+            Option.value (Hashtbl.find_opt pauli_at pos) ~default:(0, [])
+          in
+          Hashtbl.replace pauli_at pos
+            (n + 1, gs @ Fault.pauli_gates pauli qubit)
+      | Fault.Flip_outcome { bit } -> Hashtbl.replace flip_bit bit ()
+      | Fault.Skip_block { pos } -> Hashtbl.replace skip_at pos ())
+    faults;
+  (* Position tracking costs an [Instr.count_instrs] per untaken branch, so
+     it only runs when a positional fault could fire. *)
+  let need_pos = faults <> [] in
+  let injected = ref 0 in
+  let track_path = Option.is_some on_event || Option.is_some max_terms in
+  let check_budget path =
+    match max_terms with
+    | Some limit ->
+        let actual = State.support_size !state in
+        if actual > limit then
+          Mbu_error.resource_limit ~path ~limit ~actual ~subsystem:"Sim.run"
+            "sparse state exceeds the term budget"
+    | None -> ()
+  in
+  (* [exec path pos instrs] returns the static position one past [instrs].
+     Event blocks are allocated only when a hook is installed. *)
+  let rec exec path pos = function
+    | [] -> pos
     | Instr.Gate g :: rest ->
         apply_gate g;
         tally_gate executed g;
         (match on_event with Some f -> f (Gate_applied g) | None -> ());
-        exec path rest
+        (if need_pos then
+           match Hashtbl.find_opt pauli_at pos with
+           | Some (n, gs) ->
+               (* Injected Paulis are faults, not program gates: applied
+                  through the engine but never tallied. *)
+               List.iter apply_gate gs;
+               injected := !injected + n
+           | None -> ());
+        check_budget path;
+        exec path (pos + 1) rest
     | Instr.Measure { qubit; bit; reset } :: rest ->
         let p1 = State.prob_bit_one !state qubit in
-        let outcome = draw_outcome rng p1 in
-        bits.(bit) <- outcome;
+        let outcome =
+          match force with
+          | Some f -> (
+              match f bit with
+              | Some v ->
+                  if (if v then p1 <= 1e-12 else p1 >= 1.0 -. 1e-12) then
+                    Mbu_error.invalid ~subsystem:"Sim.run" ~qubit ~bit ~path
+                      (Printf.sprintf
+                         "forced outcome %b has probability zero"
+                         v)
+                  else v
+              | None -> draw_outcome rng p1)
+          | None -> draw_outcome rng p1
+        in
         project ~qubit ~value:outcome;
-        if reset && outcome then set_bit_zero ~qubit;
+        let recorded =
+          if need_pos && Hashtbl.mem flip_bit bit then begin
+            incr injected;
+            not outcome
+          end
+          else outcome
+        in
+        bits.(bit) <- recorded;
+        (* Reset is an X conditioned on the *recorded* outcome, so a
+           misread fault leaves the qubit physically wrong — exactly the
+           failure mode the campaigns probe. *)
+        if reset && recorded then
+          if outcome then set_bit_zero ~qubit else apply_gate (Gate.X qubit);
         executed.t_measure <- executed.t_measure + 1;
         (match on_event with
-        | Some f -> f (Measured { qubit; bit; outcome })
+        | Some f -> f (Measured { qubit; bit; outcome = recorded })
         | None -> ());
-        exec path rest
+        exec path (pos + 1) rest
     | Instr.If_bit { bit; value; body } :: rest ->
         let taken = bits.(bit) = value in
+        let taken =
+          if need_pos && Hashtbl.mem skip_at pos then begin
+            if taken then incr injected;
+            false
+          end
+          else taken
+        in
         (match on_event with
         | Some f -> f (Branch { bit; value; taken })
         | None -> ());
-        if taken then exec path body;
-        exec path rest
+        let pos_end =
+          if taken then exec path (pos + 1) body
+          else if need_pos then pos + 1 + Instr.count_instrs body
+          else pos
+        in
+        exec path pos_end rest
     | Instr.Span { label; body; _ } :: rest ->
-        (match on_event with
-        | Some f ->
+        let pos =
+          if track_path then begin
             let spath = path @ [ label ] in
-            f (Span_enter { label; path = spath });
-            exec spath body;
-            f (Span_exit { label; path = spath })
-        | None -> exec path body);
-        exec path rest
+            (match on_event with
+            | Some f -> f (Span_enter { label; path = spath })
+            | None -> ());
+            let p = exec spath pos body in
+            (match on_event with
+            | Some f -> f (Span_exit { label; path = spath })
+            | None -> ());
+            p
+          end
+          else exec path pos body
+        in
+        exec path pos rest
     | Instr.Call { body; _ } :: rest ->
         (* Lazy expansion: a reference executes its body in place; nothing
            is materialized, so sharing is free at simulation time too. *)
-        exec path body;
-        exec path rest
+        let pos = exec path pos body in
+        exec path pos rest
   in
-  exec [] c.instrs;
-  { state = !state; bits; executed = counts_of_tally executed }
+  ignore (exec [] 0 c.instrs);
+  { state = !state; bits; executed = counts_of_tally executed;
+    injected = !injected }
 
 let init_registers ~num_qubits assignments =
   let idx = ref 0 in
@@ -148,19 +239,19 @@ let init_registers ~num_qubits assignments =
          [n >= 62]. Shifts of [Sys.int_size] or more are unspecified, but a
          register that wide holds any non-negative int. *)
       if v < 0 || (n < Sys.int_size && v lsr n <> 0) then
-        invalid_arg
-          (Printf.sprintf "Sim.init_registers: %d does not fit %s"
-             v (Register.name reg));
+        Mbu_error.invalid ~subsystem:"Sim.init_registers"
+          ~register:(Register.name reg)
+          (Printf.sprintf "%d does not fit %s" v (Register.name reg));
       for i = 0 to n - 1 do
         if (v lsr i) land 1 = 1 then idx := !idx lor (1 lsl Register.get reg i)
       done)
     assignments;
   State.basis ~num_qubits !idx
 
-let run_builder ?rng ?on_event ?engine b ~inits =
+let run_builder ?rng ?on_event ?engine ?force ?faults ?max_terms b ~inits =
   let c = Builder.to_circuit b in
   let init = init_registers ~num_qubits:(Builder.num_qubits b) inits in
-  run ?rng ?on_event ?engine c ~init
+  run ?rng ?on_event ?engine ?force ?faults ?max_terms c ~init
 
 (* ------------------------------------------------------------------ *)
 (* Aggregate branch / outcome statistics over Monte-Carlo runs *)
@@ -221,21 +312,32 @@ let branch_bits st = Hashtbl.fold (fun k _ acc -> k :: acc) st.branch [] |> List
 let default_jobs = Parallel.default_jobs
 let parallel_backend = Parallel.backend
 
-let run_shots ?(seed = 0) ?jobs ?stats ?(engine = Fast) ~shots c ~init =
-  if shots < 0 then invalid_arg "Sim.run_shots: negative shot count";
+let run_shots ?(seed = 0) ?jobs ?stats ?(engine = Fast) ?force ?faults
+    ?max_terms ~shots c ~init =
+  if shots < 0 then
+    Mbu_error.invalid ~subsystem:"Sim.run_shots" "negative shot count";
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
   in
+  (* Position tracking (active only with a fault plan) reads Instr's
+     per-node memo tables; populate them here, on one thread, so the
+     parallel shots below only ever hit the tables read-only. *)
+  (match faults with
+  | Some (_ :: _) -> ignore (Instr.count_instrs c.Circuit.instrs)
+  | Some [] | None -> ());
   let collect = Option.is_some stats in
   let shot i =
     let rng = shot_rng ~seed i in
     if collect then begin
       let st = new_stats () in
-      let r = run ~rng ~on_event:(stats_hook st) ~engine c ~init in
+      let r =
+        run ~rng ~on_event:(stats_hook st) ~engine ?force ?faults ?max_terms c
+          ~init
+      in
       record_run st;
       (r, Some st)
     end
-    else (run ~rng ~engine c ~init, None)
+    else (run ~rng ~engine ?force ?faults ?max_terms c ~init, None)
   in
   let results = Parallel.map_tasks ~jobs ~tasks:shots shot in
   (match stats with
@@ -246,10 +348,11 @@ let run_shots ?(seed = 0) ?jobs ?stats ?(engine = Fast) ~shots c ~init =
   | None -> ());
   Array.map fst results
 
-let run_shots_builder ?seed ?jobs ?stats ?engine ~shots b ~inits =
+let run_shots_builder ?seed ?jobs ?stats ?engine ?force ?faults ?max_terms
+    ~shots b ~inits =
   let c = Builder.to_circuit b in
   let init = init_registers ~num_qubits:(Builder.num_qubits b) inits in
-  run_shots ?seed ?jobs ?stats ?engine ~shots c ~init
+  run_shots ?seed ?jobs ?stats ?engine ?force ?faults ?max_terms ~shots c ~init
 
 let register_value state reg =
   (* Accumulate from the MSB down so bit i lands at weight 2^i. *)
@@ -266,9 +369,9 @@ let register_value_exn state reg =
   match register_value state reg with
   | Some v -> v
   | None ->
-      invalid_arg
-        (Printf.sprintf "Sim.register_value_exn: %s is in superposition"
-           (Register.name reg))
+      Mbu_error.invalid ~subsystem:"Sim.register_value_exn"
+        ~register:(Register.name reg)
+        (Printf.sprintf "%s is in superposition" (Register.name reg))
 
 let wires_zero state ~except =
   let marked = Hashtbl.create 64 in

@@ -17,6 +17,10 @@ type run = {
   state : State.t;
   bits : bool array;  (** classical bits, indexed by measurement bit id *)
   executed : Counts.t;  (** gates actually executed in this run *)
+  injected : int;
+      (** injected faults that actually fired this run: Paulis whose
+          position was reached, outcome flips applied, conditionals whose
+          skip changed behaviour. 0 when no fault plan was given. *)
 }
 
 (** Execution event, reported to the [?on_event] hook in program order.
@@ -47,21 +51,45 @@ type engine = Fast | Sparse | Reference
 
 val run :
   ?rng:Random.State.t -> ?on_event:(event -> unit) -> ?engine:engine ->
+  ?force:(int -> bool option) -> ?faults:Fault.t list -> ?max_terms:int ->
   Circuit.t -> init:State.t -> run
 (** [rng] defaults to a {e freshly seeded} deterministic generator per call:
     two unseeded runs of the same circuit give the same outcomes, and an
     unseeded run never perturbs later ones. [on_event] is called
     synchronously after each instruction executes (and for each conditional
-    block considered); it must not mutate the run. *)
+    block considered); it must not mutate the run.
+
+    [force bit] pins measurement outcomes: [Some v] projects the measured
+    qubit onto [v] instead of sampling (raising {!Mbu_circuit.Mbu_error.Error}
+    if [v] has probability zero), [None] falls back to the RNG. Classical
+    bits are 1:1 with measurements, so [bit] addresses each measurement
+    uniquely — this is what drives {e both} arms of every MBU conditional
+    deterministically.
+
+    [faults] injects the given {!Mbu_circuit.Fault.t} plan: Pauli and skip
+    faults fire when execution reaches their static position (see [Fault]
+    for the numbering — branches not taken advance the position past their
+    bodies), outcome flips corrupt the {e recorded} bit of the matching
+    measurement while the projection (and a reset's conditional X, which
+    keys on the recorded value) follow the fault. Injected Paulis are not
+    counted in [executed].
+
+    [max_terms] bounds the state's sparse support; the first gate that
+    leaves more than this many table entries raises a
+    [Mbu_error.Resource_limit] carrying the enclosing span path — a clean
+    failure instead of thrashing toward OOM on an accidentally dense
+    circuit. *)
 
 val init_registers : num_qubits:int -> (Register.t * int) list -> State.t
 (** Basis state with each register holding the given unsigned value (LSB
-    first); unlisted wires start at |0>. Raises [Invalid_argument] if a value
-    does not fit its register — including registers of 62 bits and wider,
-    which the seed guard skipped. *)
+    first); unlisted wires start at |0>. Raises {!Mbu_circuit.Mbu_error.Error}
+    (with the register name attached) if a value does not fit its register —
+    including registers of 62 bits and wider, which the seed guard
+    skipped. *)
 
 val run_builder :
   ?rng:Random.State.t -> ?on_event:(event -> unit) -> ?engine:engine ->
+  ?force:(int -> bool option) -> ?faults:Fault.t list -> ?max_terms:int ->
   Builder.t -> inits:(Register.t * int) list -> run
 (** Convert the builder to a circuit and run it on a basis initialization. *)
 
@@ -113,8 +141,9 @@ val parallel_backend : string
     binary was built with. *)
 
 val run_shots :
-  ?seed:int -> ?jobs:int -> ?stats:stats -> ?engine:engine -> shots:int ->
-  Circuit.t -> init:State.t -> run array
+  ?seed:int -> ?jobs:int -> ?stats:stats -> ?engine:engine ->
+  ?force:(int -> bool option) -> ?faults:Fault.t list -> ?max_terms:int ->
+  shots:int -> Circuit.t -> init:State.t -> run array
 (** Run the circuit [shots] times and return the runs in shot order. Shot
     [i] draws its outcomes from a generator derived only from [seed] and
     [i], so the result array (states, bits, executed counts) is identical
@@ -124,8 +153,9 @@ val run_shots :
     to running sequentially with [stats_hook]). *)
 
 val run_shots_builder :
-  ?seed:int -> ?jobs:int -> ?stats:stats -> ?engine:engine -> shots:int ->
-  Builder.t -> inits:(Register.t * int) list -> run array
+  ?seed:int -> ?jobs:int -> ?stats:stats -> ?engine:engine ->
+  ?force:(int -> bool option) -> ?faults:Fault.t list -> ?max_terms:int ->
+  shots:int -> Builder.t -> inits:(Register.t * int) list -> run array
 
 val register_value : State.t -> Register.t -> int option
 (** The register's value if it is definite across the whole superposition. *)

@@ -66,6 +66,9 @@ let to_alist s =
 
 let num_terms s = List.length (to_alist s)
 
+let support_size s =
+  match s.repr with Classical _ -> 1 | Sparse tbl -> Hashtbl.length tbl
+
 let norm2 s =
   let acc = ref 0. in
   iter_amps s (fun _ v -> acc := !acc +. Complex.norm2 v);

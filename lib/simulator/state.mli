@@ -36,6 +36,13 @@ val to_alist : t -> (int * Complex.t) list
 (** Entries with non-negligible amplitude, sorted by basis index. *)
 
 val num_terms : t -> int
+
+val support_size : t -> int
+(** Number of stored amplitude entries — 1 on the classical track, the raw
+    hash-table size on the sparse track (negligible amplitudes included,
+    unlike {!num_terms}). O(1); this is the memory-cost figure the
+    [Sim.run ?max_terms] budget compares against. *)
+
 val norm : t -> float
 val normalize : t -> t
 

@@ -2,19 +2,30 @@
 
 open Mbu_circuit
 
+(* Builder misuse now raises the structured [Mbu_error.Error] with the
+   offending wire attached, not a bare [Invalid_argument]. *)
+let check_mbu_error name ~subsystem ?qubit f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Mbu_error.Error")
+  | exception Mbu_error.Error e ->
+      Alcotest.(check string) (name ^ " subsystem") subsystem e.Mbu_error.subsystem;
+      (match qubit with
+      | None -> ()
+      | Some q ->
+          Alcotest.(check (option int)) (name ^ " qubit") (Some q)
+            e.Mbu_error.qubit)
+
 let test_double_free_rejected () =
   let b = Builder.create () in
   let a = Builder.alloc_ancilla b in
   Builder.free_ancilla b a;
-  Alcotest.check_raises "double free"
-    (Invalid_argument "Builder.free_ancilla: double free") (fun () ->
-      Builder.free_ancilla b a)
+  check_mbu_error "double free" ~subsystem:"Builder.free_ancilla" ~qubit:a
+    (fun () -> Builder.free_ancilla b a)
 
 let test_inputs_before_ancillas () =
   let b = Builder.create () in
   let _a = Builder.alloc_ancilla b in
-  Alcotest.check_raises "input after ancilla"
-    (Invalid_argument "Builder.fresh_qubit: allocate inputs before ancillas")
+  check_mbu_error "input after ancilla" ~subsystem:"Builder.fresh_qubit"
     (fun () -> ignore (Builder.fresh_qubit b))
 
 let test_unbalanced_capture () =

@@ -158,9 +158,117 @@ let test_sabotaged_mbu_lemma_caught () =
   done;
   Alcotest.(check bool) "sabotaged mbu detected" true !bad
 
+(* ------------------------------------------------------------------ *)
+(* The same two sabotages, expressed as injected fault plans against the
+   HEALTHY circuits: the robustness engine must classify each as Detected.
+   Where the hand-built sabotages above prove the harness catches a broken
+   implementation, these prove the fault-injection engine reproduces the
+   break without touching the circuit. *)
+
+open Mbu_robustness
+
+let outcome : Engine.outcome Alcotest.testable =
+  Alcotest.testable
+    (fun ppf o -> Format.pp_print_string ppf (Engine.outcome_name o))
+    ( = )
+
+(* Skipping an AND-erasure CZ correction of a healthy Gidney adder is
+   exactly [broken_and_uncompute]: invisible on basis states, a phase error
+   on superpositions. A fidelity detector against the exact superposed sum
+   catches it; forcing every erasure outcome to 1 makes each correction
+   load-bearing, so the skip deterministically matters. *)
+let test_injected_skip_cz_detected () =
+  let n = 3 in
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" n in
+  let y = Builder.fresh_register b "y" (n + 1) in
+  Array.iter (fun q -> Builder.h b q) (Register.qubits x);
+  Adder_gidney.add b ~x ~y;
+  let circuit = Builder.to_circuit b in
+  let init = Sim.init_registers ~num_qubits:(Builder.num_qubits b) [ (y, 3) ] in
+  let amp : Complex.t = { re = 1.0 /. sqrt 8.0; im = 0.0 } in
+  let expected num_qubits =
+    State.of_alist ~num_qubits
+      (List.init 8 (fun v ->
+           let idx = ref 0 in
+           for k = 0 to n - 1 do
+             if (v lsr k) land 1 = 1 then
+               idx := !idx lor (1 lsl Register.get x k)
+           done;
+           let s = v + 3 in
+           for k = 0 to n do
+             if (s lsr k) land 1 = 1 then
+               idx := !idx lor (1 lsl Register.get y k)
+           done;
+           (!idx, amp)))
+  in
+  let detector (r : Sim.run) =
+    State.fidelity r.Sim.state (expected (State.num_qubits r.Sim.state))
+    < 1. -. 1e-9
+  in
+  let spec =
+    Engine.
+      { name = "gidney-superposed"; circuit; init; keep = [ x; y ];
+        expect = []; detectors = [ ("fidelity", detector) ] }
+  in
+  let branches =
+    List.filter_map
+      (function Fault.Branch_site { pos; _ } -> Some pos | _ -> None)
+      (Fault.sites circuit.Circuit.instrs)
+  in
+  Alcotest.(check int) "one erasure branch per carry ancilla" (n - 1)
+    (List.length branches);
+  let classify faults =
+    Engine.classify
+      ~force:(Engine.force_all true)
+      ~rng:(Random.State.make [| 41 |])
+      ~faults spec
+  in
+  Alcotest.check outcome "healthy adder passes the fidelity detector"
+    Engine.Correct (classify []);
+  List.iter
+    (fun pos ->
+      Alcotest.check outcome
+        (Printf.sprintf "skipped CZ correction at position %d detected" pos)
+        Engine.Detected
+        (classify [ Fault.Skip_block { pos } ]))
+    branches
+
+(* Skipping the MBU lemma's correction block (H; U_g; H; X) of a healthy
+   modular adder leaves the comparator ancilla in |1>: the dirty-ancilla
+   check catches it on basis inputs already. *)
+let test_injected_skip_mbu_correction_detected () =
+  let spec = (Option.get (Catalogue.find "cdkpm")).Catalogue.make ~n:3 ~p:7 in
+  let branches =
+    List.filter_map
+      (function
+        | Fault.Branch_site { pos; bit; value } -> Some (pos, bit, value)
+        | _ -> None)
+      (Fault.sites spec.Engine.circuit.Circuit.instrs)
+  in
+  Alcotest.(check bool) "modadd has an MBU correction" true (branches <> []);
+  List.iter
+    (fun (pos, bit, value) ->
+      (* pin the guard so the correction would fire, then refuse to run it *)
+      let force b = if b = bit then Some value else None in
+      let o =
+        Engine.classify ~force
+          ~rng:(Random.State.make [| 43 |])
+          ~faults:[ Fault.Skip_block { pos } ]
+          spec
+      in
+      Alcotest.check outcome
+        (Printf.sprintf "skipped MBU correction at position %d detected" pos)
+        Engine.Detected o)
+    branches
+
 let suite =
   ( "failure-injection",
     [ Alcotest.test_case "missing CZ in AND erasure is caught" `Quick
         test_sabotaged_adder_caught;
       Alcotest.test_case "missing U_g in MBU lemma is caught" `Quick
-        test_sabotaged_mbu_lemma_caught ] )
+        test_sabotaged_mbu_lemma_caught;
+      Alcotest.test_case "injected CZ skip is detected" `Quick
+        test_injected_skip_cz_detected;
+      Alcotest.test_case "injected MBU-correction skip is detected" `Quick
+        test_injected_skip_mbu_correction_detected ] )

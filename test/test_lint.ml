@@ -1,0 +1,126 @@
+(* Invariant linter: clean on every catalogue circuit, and each check fires
+   on a minimal seeded regression. *)
+
+open Mbu_circuit
+open Mbu_robustness
+
+let n = 4
+let p = 11
+
+let find_check rep name =
+  List.filter (fun (f : Lint.finding) -> f.Lint.check = name)
+    rep.Lint.findings
+
+(* Every Table-1 catalogue circuit — MBU conditionals, Gidney erasures,
+   comparator ancillas and all — must lint clean. *)
+let test_catalogue_clean () =
+  List.iter
+    (fun (e : Catalogue.entry) ->
+      let rep = Catalogue.lint (e.Catalogue.make ~n ~p) in
+      if not (Lint.is_clean rep) then
+        Alcotest.fail
+          (Printf.sprintf "%s should lint clean:\n%s" e.Catalogue.name
+             (Lint.to_string rep)))
+    Catalogue.all
+
+(* Seeded regression: an ancilla set to |1> and never uncomputed is a
+   definite leak the abstract interpretation must flag. *)
+let test_ancilla_leak_flagged () =
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" 2 in
+  let a = Builder.alloc_ancilla b in
+  Builder.cnot b ~control:(Register.get x 0) ~target:a;
+  Builder.x b a;
+  (* a is now Top (control unknown), no definite leak... *)
+  let rep_top = Lint.check ~input_qubits:2 (Builder.to_circuit b) in
+  Alcotest.(check bool) "data-dependent ancilla not flagged" true
+    (Lint.is_clean rep_top);
+  (* ...but a provable |1> is. *)
+  let b2 = Builder.create () in
+  let x2 = Builder.fresh_register b2 "x" 2 in
+  let a2 = Builder.alloc_ancilla b2 in
+  Builder.cnot b2 ~control:(Register.get x2 0) ~target:(Register.get x2 1);
+  Builder.x b2 a2;
+  let rep = Lint.check ~input_qubits:2 (Builder.to_circuit b2) in
+  Alcotest.(check bool) "leak is an error" false (Lint.is_clean rep);
+  (match Lint.errors rep with
+  | [ f ] ->
+      Alcotest.(check string) "check id" "ancilla-leak" f.Lint.check;
+      Alcotest.(check (option int)) "offending wire" (Some a2) f.Lint.qubit
+  | fs ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one error, got %d" (List.length fs)));
+  (* the default input_qubits (all wires are inputs) disables the check *)
+  Alcotest.(check bool) "no ancillas, no leak check" true
+    (Lint.is_clean (Lint.check (Builder.to_circuit b2)))
+
+(* A conditional keyed on a classical bit no measurement ever wrote. *)
+let test_unwritten_bit_flagged () =
+  let instrs =
+    [ Instr.Gate (Gate.X 0);
+      Instr.If_bit { bit = 3; value = true; body = [ Instr.Gate (Gate.X 0) ] } ]
+  in
+  let rep = Lint.check_instrs ~num_qubits:1 ~num_bits:4 instrs in
+  match find_check rep "unwritten-bit" with
+  | [ f ] ->
+      Alcotest.(check bool) "error severity" true (f.Lint.severity = Lint.Error);
+      Alcotest.(check (option int)) "offending bit" (Some 3) f.Lint.bit
+  | fs ->
+      Alcotest.fail
+        (Printf.sprintf "expected one unwritten-bit finding, got %d"
+           (List.length fs))
+
+(* Wire / bit indices outside the declared widths (only reachable through
+   raw instruction lists — [Circuit.make] validates). *)
+let test_escapes_flagged () =
+  let instrs =
+    [ Instr.Gate (Gate.X 5);
+      Instr.Measure { qubit = 0; bit = 9; reset = false } ]
+  in
+  let rep = Lint.check_instrs ~num_qubits:2 ~num_bits:1 instrs in
+  Alcotest.(check bool) "escapes are errors" false (Lint.is_clean rep);
+  Alcotest.(check int) "wire escape found" 1
+    (List.length (find_check rep "wire-escape"));
+  Alcotest.(check int) "bit escape found" 1
+    (List.length (find_check rep "bit-escape"))
+
+(* Reusing a measured-and-not-reset wire outside the conditional that
+   consumes its outcome: a warning, not an error. *)
+let test_use_after_measure_warned () =
+  let b = Builder.create () in
+  let q = Builder.fresh_qubit b in
+  Builder.h b q;
+  ignore (Builder.measure b q);
+  Builder.x b q;
+  let rep = Lint.check (Builder.to_circuit b) in
+  Alcotest.(check bool) "warnings keep the report clean" true
+    (Lint.is_clean rep);
+  (match find_check rep "use-after-measure" with
+  | [ f ] ->
+      Alcotest.(check bool) "warning severity" true
+        (f.Lint.severity = Lint.Warning)
+  | fs ->
+      Alcotest.fail
+        (Printf.sprintf "expected one use-after-measure warning, got %d"
+           (List.length fs)));
+  (* the same reuse inside the correction block keyed on the outcome is the
+     MBU idiom and stays silent *)
+  let b2 = Builder.create () in
+  let q2 = Builder.fresh_qubit b2 in
+  Builder.h b2 q2;
+  let bit = Builder.measure b2 q2 in
+  Builder.if_bit b2 bit (fun () -> Builder.x b2 q2);
+  let rep2 = Lint.check (Builder.to_circuit b2) in
+  Alcotest.(check int) "correction-block reuse not warned" 0
+    (List.length (find_check rep2 "use-after-measure"))
+
+let suite =
+  ( "lint",
+    [ Alcotest.test_case "catalogue lints clean" `Quick test_catalogue_clean;
+      Alcotest.test_case "ancilla leak flagged" `Quick
+        test_ancilla_leak_flagged;
+      Alcotest.test_case "unwritten bit flagged" `Quick
+        test_unwritten_bit_flagged;
+      Alcotest.test_case "index escapes flagged" `Quick test_escapes_flagged;
+      Alcotest.test_case "use-after-measure warned" `Quick
+        test_use_after_measure_warned ] )

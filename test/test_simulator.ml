@@ -210,13 +210,20 @@ let test_init_registers_wide_guard () =
   let r = Builder.fresh_register b "r" 62 in
   let st = Sim.init_registers ~num_qubits:62 [ (r, max_int) ] in
   check_int "62-bit round trip" max_int (Sim.register_value_exn st r);
-  Alcotest.check_raises "negative rejected (wide)"
-    (Invalid_argument "Sim.init_registers: -1 does not fit r") (fun () ->
+  let check_rejected name ~register f =
+    match f () with
+    | _ -> Alcotest.fail (name ^ ": expected Mbu_error.Error")
+    | exception Mbu_error.Error e ->
+        Alcotest.(check string) (name ^ " subsystem") "Sim.init_registers"
+          e.Mbu_error.subsystem;
+        Alcotest.(check (option string)) (name ^ " register") (Some register)
+          e.Mbu_error.register
+  in
+  check_rejected "negative rejected (wide)" ~register:"r" (fun () ->
       ignore (Sim.init_registers ~num_qubits:62 [ (r, -1) ]));
   let b2 = Builder.create () in
   let s = Builder.fresh_register b2 "s" 3 in
-  Alcotest.check_raises "oversize rejected (narrow)"
-    (Invalid_argument "Sim.init_registers: 8 does not fit s") (fun () ->
+  check_rejected "oversize rejected (narrow)" ~register:"s" (fun () ->
       ignore (Sim.init_registers ~num_qubits:3 [ (s, 8) ]))
 
 (* The classical track: permutation and diagonal gates keep a basis state
