@@ -1172,10 +1172,92 @@ let report_phase_times () =
     times;
   fpf "  %-20s %10.3f@." "total" total
 
+(* ------------------------------------------------------------------ *)
+(* Bench-regression gate: `--compare BASELINE.json` (repeatable).
+
+   Each baseline's "workload" field selects the experiment that
+   regenerates it; the experiment runs, the fresh file is diffed against
+   the in-memory baseline with Bench_compare's per-metric thresholds, and
+   any regression turns into a non-zero exit. Note the experiments
+   overwrite the BENCH_*.json in the working tree — `git checkout` them
+   afterwards if you want the committed baselines back. *)
+
+module BC = Mbu_telemetry.Bench_compare
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compare_paths () =
+  let acc = ref [] in
+  Array.iteri
+    (fun i a ->
+      if String.equal a "--compare" && i + 1 < Array.length Sys.argv then
+        acc := Sys.argv.(i + 1) :: !acc)
+    Sys.argv;
+  List.rev !acc
+
+let experiment_for_workload = function
+  | "table1-modadd-montecarlo" ->
+      Some ("sim_bench", experiment_sim_bench, "BENCH_sim.json")
+  | "table1+modmul-dag-build" ->
+      Some ("build_bench", experiment_build_bench, "BENCH_build.json")
+  | "catalogue-fault-campaigns" ->
+      Some ("faults", experiment_faults, "BENCH_faults.json")
+  | _ -> None
+
+let run_compare paths =
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match BC.parse_result (read_file path) with
+      | exception Sys_error e ->
+          fpf "  cannot read baseline %s: %s@." path e;
+          failed := true
+      | Error e ->
+          fpf "  baseline %s: parse error: %s@." path e;
+          failed := true
+      | Ok baseline -> (
+          match Option.bind (BC.workload baseline) experiment_for_workload with
+          | None ->
+              fpf "  baseline %s: unknown workload, cannot regenerate@." path;
+              failed := true
+          | Some (name, experiment, fresh_path) ->
+              header (Printf.sprintf "Regression gate: %s (%s)" path name);
+              timed name experiment;
+              let report =
+                BC.compare_json ~baseline
+                  ~current:(BC.parse (read_file fresh_path))
+              in
+              fpf "@.";
+              print_string (BC.render report);
+              if report.BC.regressions <> [] then failed := true))
+    paths;
+  (* Telemetry of the gate runs themselves rides along as a CI artifact. *)
+  let oc = open_out "METRICS.json" in
+  output_string oc (Mbu_telemetry.Telemetry.to_json ());
+  close_out oc;
+  fpf "@.telemetry written to METRICS.json@.";
+  if !failed then begin
+    fpf "@.REGRESSION GATE FAILED@.";
+    exit 1
+  end
+  else fpf "@.regression gate passed@."
+
 let () =
   (* `--sim-only` runs just the simulator micro-bench (CI benchmark smoke);
      `--build-only` just the DAG build/metric bench; `--faults-only` just
-     the fault-injection / lint campaign. *)
+     the fault-injection / lint campaign; `--compare BASELINE.json`
+     (repeatable) is the regression gate. *)
+  (match compare_paths () with
+  | [] -> ()
+  | paths ->
+      run_compare paths;
+      report_phase_times ();
+      fpf "@.done.@.";
+      exit 0);
   if Array.exists (String.equal "--build-only") Sys.argv then begin
     timed "build_bench" experiment_build_bench;
     report_phase_times ();

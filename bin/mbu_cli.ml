@@ -300,7 +300,26 @@ let profile_cmd =
     in
     let c = Builder.to_circuit builder in
     let root = Trace.of_circuit ~mode c in
-    if json then print_string (Trace.to_json root)
+    let run_shots_now () =
+      let open Mbu_simulator in
+      let st = Sim.new_stats () in
+      let init =
+        Sim.init_registers ~num_qubits:(Builder.num_qubits builder) inits
+      in
+      let jobs = match jobs with Some j -> j | None -> Sim.default_jobs () in
+      let t0 = Unix.gettimeofday () in
+      ignore (Sim.run_shots ~seed ~jobs ~stats:st ~shots c ~init);
+      (st, jobs, Unix.gettimeofday () -. t0)
+    in
+    if json then begin
+      (* Shots run before the document is emitted, so the counter overlay
+         reflects this invocation's runtime telemetry. *)
+      if shots > 0 then ignore (run_shots_now ());
+      print_string
+        (Trace.to_json
+           ~counters:(Mbu_telemetry.Telemetry.counters_alist ())
+           root)
+    end
     else begin
       Format.printf "circuit     : %s (%s%s), n = %d@." circuit style_s
         (if mbu then ", MBU" else "") n;
@@ -317,16 +336,7 @@ let profile_cmd =
       print_string (Trace.render ~merge:(not no_merge) ?max_depth root);
       if shots > 0 then begin
         let open Mbu_simulator in
-        let st = Sim.new_stats () in
-        let init =
-          Sim.init_registers ~num_qubits:(Builder.num_qubits builder) inits
-        in
-        let jobs =
-          match jobs with Some j -> j | None -> Sim.default_jobs ()
-        in
-        let t0 = Unix.gettimeofday () in
-        ignore (Sim.run_shots ~seed ~jobs ~stats:st ~shots c ~init);
-        let dt = Unix.gettimeofday () -. t0 in
+        let st, jobs, dt = run_shots_now () in
         let modelled =
           match mode with
           | Counts.Expected pr -> Printf.sprintf "%g" pr
@@ -429,7 +439,7 @@ let spec_of_built ~name (built : built) =
 
 let inject_cmd =
   let run circuit style mbu n p a x_val y_val runs faults_per_run seed jobs
-      exhaustive =
+      exhaustive progress =
     let built = build_circuit ~circuit ~style ~mbu ~n ~p ~a ~x_val ~y_val in
     let spec = spec_of_built ~name:circuit built in
     let open Mbu_robustness in
@@ -437,7 +447,18 @@ let inject_cmd =
       if exhaustive then Engine.Exhaustive { paulis = [ Fault.X; Fault.Y; Fault.Z ] }
       else Engine.Random { runs; faults_per_run }
     in
-    let r = Engine.run_campaign ~seed ?jobs ~plan spec in
+    (* Heartbeat on stderr so stdout stays machine-readable; the counter is
+       monotone even when runs complete out of order across domains. *)
+    let on_progress =
+      if progress <= 0 then None
+      else
+        Some
+          (fun ~completed ~total ->
+            if completed mod progress = 0 || completed = total then
+              Printf.eprintf "  [%d/%d] campaign runs completed\n%!" completed
+                total)
+    in
+    let r = Engine.run_campaign ~seed ?jobs ?on_progress ~plan spec in
     Format.printf "circuit     : %s (%s%s), n = %d@." circuit
       (Adder.style_name style) (if mbu then ", MBU" else "") n;
     Format.printf "fault sites : %d (%s campaign, %d runs, seed %d)@." r.Engine.sites
@@ -477,15 +498,90 @@ let inject_cmd =
                    outcome flip per measurement, a skip per conditional) \
                    instead of random sampling.")
   in
+  let progress_arg =
+    Arg.(value & opt int 0
+         & info [ "progress" ] ~docv:"N"
+             ~doc:"Print a heartbeat line to stderr every N completed runs \
+                   (0 disables).")
+  in
   let term =
     Term.(const run $ circuit_arg $ style_arg $ mbu_arg $ n_arg $ p_arg $ a_arg
           $ x_arg $ y_arg $ runs_arg $ faults_arg $ seed_arg $ jobs_arg
-          $ exhaustive_arg)
+          $ exhaustive_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "inject"
        ~doc:"Fault-injection campaign: classify every run as correct, \
              detected, or silently corrupted against the classical oracle.")
+    term
+
+let metrics_cmd =
+  let run circuit style mbu n p a x_val y_val shots runs seed jobs format =
+    let open Mbu_telemetry in
+    (* Fresh slate so the exposition covers exactly this invocation's
+       build + simulate + campaign, not other module-init noise. *)
+    Telemetry.reset ();
+    let built = build_circuit ~circuit ~style ~mbu ~n ~p ~a ~x_val ~y_val in
+    let open Mbu_simulator in
+    let c = Builder.to_circuit built.builder in
+    let init =
+      Sim.init_registers ~num_qubits:(Builder.num_qubits built.builder)
+        built.inits
+    in
+    if shots > 0 then ignore (Sim.run_shots ~seed ?jobs ~shots c ~init);
+    if runs > 0 then begin
+      let spec = spec_of_built ~name:circuit built in
+      ignore
+        (Mbu_robustness.Engine.run_campaign ~seed ?jobs
+           ~plan:(Mbu_robustness.Engine.Random { runs; faults_per_run = 1 })
+           spec)
+    end;
+    print_string
+      (match format with
+      | "json" -> Telemetry.to_json ()
+      | _ -> Telemetry.to_openmetrics ())
+  in
+  let shots_arg =
+    Arg.(value & opt int 200
+         & info [ "shots" ]
+             ~doc:"Monte-Carlo shots feeding the simulator instruments (0 \
+                   skips).")
+  in
+  let runs_arg =
+    Arg.(value & opt int 50
+         & info [ "runs" ]
+             ~doc:"Fault-campaign runs feeding the robustness instruments (0 \
+                   skips).")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"RNG seed.") in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ] ~doc:"Worker domains (metrics are JOBS-independent \
+                                 apart from latency buckets).")
+  in
+  let format_arg =
+    let fmt_conv =
+      Arg.conv
+        ( (fun s ->
+            match String.lowercase_ascii s with
+            | ("openmetrics" | "json") as s -> Ok s
+            | _ -> Error (`Msg "format must be openmetrics | json")),
+          Format.pp_print_string )
+    in
+    Arg.(value & opt fmt_conv "openmetrics"
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Exposition format: openmetrics | json.")
+  in
+  let term =
+    Term.(const run $ circuit_arg $ style_arg $ mbu_arg $ n_arg $ p_arg $ a_arg
+          $ x_arg $ y_arg $ shots_arg $ runs_arg $ seed_arg $ jobs_arg
+          $ format_arg)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Exercise a circuit (build, Monte-Carlo shots, a small fault \
+             campaign) and print the process telemetry as OpenMetrics text \
+             or JSON.")
     term
 
 let lint_cmd =
@@ -516,7 +612,7 @@ let () =
   let group =
     Cmd.group info
       [ counts_cmd; draw_cmd; simulate_cmd; qasm_cmd; profile_cmd; inject_cmd;
-        lint_cmd ]
+        metrics_cmd; lint_cmd ]
   in
   (* Structured errors print as one clean line, not a backtrace. *)
   match Cmd.eval_value ~catch:false group with

@@ -1,3 +1,12 @@
+open Mbu_telemetry
+
+(* Live-ancilla gauge across all builders in the process: the current
+   value tracks whichever builder allocated or freed last, the high-water
+   mark is the process-wide pool peak — the number capacity planning
+   cares about. *)
+let m_ancilla_live =
+  Telemetry.gauge ~help:"Live builder ancillas" "mbu_builder_ancilla_live"
+
 type t = {
   mutable next_qubit : int;
   mutable next_bit : int;
@@ -35,6 +44,7 @@ let fresh_bit b =
 let alloc_ancilla b =
   b.live_ancillas <- b.live_ancillas + 1;
   if b.live_ancillas > b.peak_live then b.peak_live <- b.live_ancillas;
+  Telemetry.set_gauge m_ancilla_live b.live_ancillas;
   match b.free_pool with
   | q :: rest ->
       b.free_pool <- rest;
@@ -49,6 +59,7 @@ let free_ancilla b q =
   if Hashtbl.mem b.free_set q then
     Mbu_error.invalid ~subsystem:"Builder.free_ancilla" ~qubit:q "double free";
   b.live_ancillas <- b.live_ancillas - 1;
+  Telemetry.set_gauge m_ancilla_live b.live_ancillas;
   b.free_pool <- q :: b.free_pool;
   Hashtbl.replace b.free_set q ()
 

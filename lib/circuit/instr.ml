@@ -67,10 +67,24 @@ end)
 let intern_tbl : node Body_tbl.t = Body_tbl.create 1024
 let next_node_id = ref 0
 
+(* Hash-cons hit rate: interned / (interned + allocated). *)
+let m_nodes_interned =
+  Mbu_telemetry.Telemetry.counter
+    ~help:"share calls resolved to an existing hash-consed node"
+    "mbu_builder_nodes_interned"
+
+let m_nodes_allocated =
+  Mbu_telemetry.Telemetry.counter
+    ~help:"share calls that allocated a fresh hash-consed node"
+    "mbu_builder_nodes_allocated"
+
 let share body =
   match Body_tbl.find_opt intern_tbl body with
-  | Some n -> Call n
+  | Some n ->
+      Mbu_telemetry.Telemetry.incr m_nodes_interned;
+      Call n
   | None ->
+      Mbu_telemetry.Telemetry.incr m_nodes_allocated;
       let n = { id = !next_node_id; hkey = hash_body body; body } in
       incr next_node_id;
       Body_tbl.add intern_tbl body n;

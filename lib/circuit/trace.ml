@@ -276,8 +276,11 @@ let jnum v =
   else Printf.sprintf "%g" v
 
 (* One complete ("ph":"X") event per span, on a weighted-gate-count time
-   axis; loads directly into chrome://tracing / Perfetto / speedscope. *)
-let to_json root =
+   axis; loads directly into chrome://tracing / Perfetto / speedscope.
+   [counters] (e.g. [Telemetry.counters_alist ()]) are appended as counter
+   ("ph":"C") events pinned to the root span's end, so runtime metrics
+   overlay the span timeline in the same viewer. *)
+let to_json ?(counters = []) root =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   let first = ref true in
@@ -306,5 +309,15 @@ let to_json root =
     List.iter emit e.children
   in
   emit root;
+  let ts = jnum (root.start +. root.dur) in
+  List.iter
+    (fun (name, v) ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"telemetry\",\"ph\":\"C\",\"pid\":1,\
+            \"tid\":1,\"ts\":%s,\"args\":{\"value\":%s}}"
+           (json_escape name) ts (jnum v)))
+    counters;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf

@@ -73,7 +73,10 @@ val render : ?merge:bool -> ?max_depth:int -> entry -> string
     Gidney adder prints one row per bit position. [max_depth] prunes the tree
     below the given nesting level. *)
 
-val to_json : entry -> string
+val to_json : ?counters:(string * float) list -> entry -> string
 (** Chrome trace-event JSON (one ["ph":"X"] complete event per span, on the
     weighted-gate-count time axis). Loads directly into [chrome://tracing],
-    Perfetto or speedscope; per-span counts ride in ["args"]. *)
+    Perfetto or speedscope; per-span counts ride in ["args"]. [counters]
+    (e.g. [Telemetry.counters_alist ()]) are appended as counter ["ph":"C"]
+    events pinned to the root span's end, overlaying runtime metrics on the
+    same timeline. *)

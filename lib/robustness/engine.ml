@@ -1,5 +1,29 @@
 open Mbu_circuit
 open Mbu_simulator
+open Mbu_telemetry
+
+(* Campaign instruments: progress and classification tallies plus per-run
+   latency. Counters are striped per domain, so the parallel campaign
+   loop bumps them contention-free. *)
+let m_runs =
+  Telemetry.counter ~help:"Fault-campaign runs completed"
+    "mbu_robustness_runs"
+
+let m_correct =
+  Telemetry.counter ~help:"Campaign runs classified correct"
+    "mbu_robustness_correct"
+
+let m_detected =
+  Telemetry.counter ~help:"Campaign runs classified detected"
+    "mbu_robustness_detected"
+
+let m_silent =
+  Telemetry.counter ~help:"Campaign runs classified silent_corrupt"
+    "mbu_robustness_silent"
+
+let m_run_seconds =
+  Telemetry.histogram ~help:"Per-campaign-run wall-clock latency in seconds"
+    "mbu_robustness_run_seconds"
 
 type spec = {
   name : string;
@@ -101,7 +125,8 @@ let exhaustive_plans ~paulis instrs =
       | Fault.Measure_site _ | Fault.Branch_site _ -> [ [ Fault.of_site site ] ])
     (Fault.sites instrs)
 
-let run_campaign ?(seed = 0) ?jobs ?engine ?force ?max_terms ~plan spec =
+let run_campaign ?(seed = 0) ?jobs ?engine ?force ?max_terms ?on_progress
+    ~plan spec =
   let instrs = spec.circuit.Circuit.instrs in
   let sites = Fault.num_sites instrs in
   (* Warm the per-node memo tables (site counts, instruction counts) on
@@ -127,10 +152,27 @@ let run_campaign ?(seed = 0) ?jobs ?engine ?force ?max_terms ~plan spec =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
   in
+  let total = Array.length plans in
+  let completed = Atomic.make 0 in
   let outcomes =
-    Parallel.map_tasks ~jobs ~tasks:(Array.length plans) (fun i ->
-        classify ?engine ?force ?max_terms ~rng:(run_rng ~seed i)
-          ~faults:plans.(i) spec)
+    Parallel.map_tasks ~jobs ~tasks:total (fun i ->
+        let o =
+          Telemetry.time m_run_seconds (fun () ->
+              classify ?engine ?force ?max_terms ~rng:(run_rng ~seed i)
+                ~faults:plans.(i) spec)
+        in
+        Telemetry.incr m_runs;
+        (match o with
+        | Correct -> Telemetry.incr m_correct
+        | Detected -> Telemetry.incr m_detected
+        | Silent_corrupt -> Telemetry.incr m_silent);
+        (* The heartbeat sees a monotone completion count; under parallel
+           jobs it may fire from any domain, so callbacks must be
+           thread-safe (printing a line is). *)
+        (match on_progress with
+        | Some f -> f ~completed:(1 + Atomic.fetch_and_add completed 1) ~total
+        | None -> ());
+        o)
   in
   let correct = ref 0 and detected = ref 0 and silent = ref 0 in
   let silent_examples = ref [] in
@@ -143,7 +185,7 @@ let run_campaign ?(seed = 0) ?jobs ?engine ?force ?max_terms ~plan spec =
           incr silent;
           if !silent < 8 then silent_examples := plans.(i) :: !silent_examples)
     outcomes;
-  { spec_name = spec.name; sites; runs = Array.length plans;
+  { spec_name = spec.name; sites; runs = total;
     correct = !correct; detected = !detected; silent = !silent;
     silent_examples = List.rev !silent_examples }
 

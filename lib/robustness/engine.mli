@@ -84,10 +84,14 @@ type result = {
 
 val run_campaign :
   ?seed:int -> ?jobs:int -> ?engine:Sim.engine ->
-  ?force:(int -> bool option) -> ?max_terms:int -> plan:plan -> spec -> result
+  ?force:(int -> bool option) -> ?max_terms:int ->
+  ?on_progress:(completed:int -> total:int -> unit) ->
+  plan:plan -> spec -> result
 (** Checks first that the fault-free baseline classifies [Correct] (raising
     [Mbu_error] otherwise — a broken spec would classify everything), then
-    runs the campaign in parallel. *)
+    runs the campaign in parallel. [on_progress] fires after every
+    completed run with a monotone completion count; under parallel jobs it
+    may be called from any worker domain, so it must be thread-safe. *)
 
 val detection_rate : result -> float
 (** [detected / (detected + silent)] — of the faults that {e mattered}, the

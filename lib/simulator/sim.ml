@@ -1,4 +1,41 @@
 open Mbu_circuit
+open Mbu_telemetry
+
+(* Runtime instruments, registered at module init so no registry work ever
+   lands inside a measured run. Counters stripe per domain, so the parallel
+   shot runner bumps them contention-free; totals merge on read. *)
+let m_runs = Telemetry.counter ~help:"Completed Sim.run executions" "mbu_sim_runs"
+
+let m_run_seconds =
+  Telemetry.histogram ~help:"Per-run wall-clock latency in seconds"
+    "mbu_sim_run_seconds"
+
+let m_gc_minor_words =
+  Telemetry.counter ~help:"Minor-heap words allocated during runs"
+    "mbu_sim_gc_minor_words"
+
+let m_gc_major_words =
+  Telemetry.counter ~help:"Major-heap words allocated during runs"
+    "mbu_sim_gc_major_words"
+
+let m_gates =
+  Telemetry.counter ~help:"Program gates applied (injected faults excluded)"
+    "mbu_sim_gates"
+
+let m_measurements =
+  Telemetry.counter ~help:"Measurements performed" "mbu_sim_measurements"
+
+let m_branches =
+  Telemetry.counter ~help:"If_bit branches evaluated" "mbu_sim_branches"
+
+let m_branches_taken =
+  Telemetry.counter ~help:"If_bit branches whose body executed"
+    "mbu_sim_branches_taken"
+
+let m_peak_terms =
+  Telemetry.gauge
+    ~help:"Sparse-state support size sampled at run start and measurements"
+    "mbu_sim_peak_terms"
 
 type run = {
   state : State.t;
@@ -122,7 +159,19 @@ let run ?rng ?on_event ?(engine = Fast) ?force ?(faults = []) ?max_terms
      it only runs when a positional fault could fire. *)
   let need_pos = faults <> [] in
   let injected = ref 0 in
-  let track_path = Option.is_some on_event || Option.is_some max_terms in
+  (* Hoist the hook check out of the per-instruction loop: when no hook is
+     installed, every event site below is a single always-false branch on
+     an immutable bool (and no event block is ever allocated) instead of a
+     per-event option match. *)
+  let hooked, emit =
+    match on_event with Some f -> (true, f) | None -> (false, ignore)
+  in
+  let track_path = hooked || Option.is_some max_terms in
+  let t_start = Telemetry.now () in
+  let gc_start = Gc.quick_stat () in
+  let branches = ref 0 in
+  let branches_taken = ref 0 in
+  let peak_terms = ref (State.support_size !state) in
   let check_budget path =
     match max_terms with
     | Some limit ->
@@ -139,7 +188,7 @@ let run ?rng ?on_event ?(engine = Fast) ?force ?(faults = []) ?max_terms
     | Instr.Gate g :: rest ->
         apply_gate g;
         tally_gate executed g;
-        (match on_event with Some f -> f (Gate_applied g) | None -> ());
+        if hooked then emit (Gate_applied g);
         (if need_pos then
            match Hashtbl.find_opt pauli_at pos with
            | Some (n, gs) ->
@@ -151,6 +200,11 @@ let run ?rng ?on_event ?(engine = Fast) ?force ?(faults = []) ?max_terms
         check_budget path;
         exec path (pos + 1) rest
     | Instr.Measure { qubit; bit; reset } :: rest ->
+        (* Support size peaks just before a measurement collapses the
+           state, so sampling here (O(1)) catches the run's high-water
+           without a per-gate probe. *)
+        let terms = State.support_size !state in
+        if terms > !peak_terms then peak_terms := terms;
         let p1 = State.prob_bit_one !state qubit in
         let outcome =
           match force with
@@ -181,9 +235,7 @@ let run ?rng ?on_event ?(engine = Fast) ?force ?(faults = []) ?max_terms
         if reset && recorded then
           if outcome then set_bit_zero ~qubit else apply_gate (Gate.X qubit);
         executed.t_measure <- executed.t_measure + 1;
-        (match on_event with
-        | Some f -> f (Measured { qubit; bit; outcome = recorded })
-        | None -> ());
+        if hooked then emit (Measured { qubit; bit; outcome = recorded });
         exec path (pos + 1) rest
     | Instr.If_bit { bit; value; body } :: rest ->
         let taken = bits.(bit) = value in
@@ -194,9 +246,9 @@ let run ?rng ?on_event ?(engine = Fast) ?force ?(faults = []) ?max_terms
           end
           else taken
         in
-        (match on_event with
-        | Some f -> f (Branch { bit; value; taken })
-        | None -> ());
+        incr branches;
+        if taken then incr branches_taken;
+        if hooked then emit (Branch { bit; value; taken });
         let pos_end =
           if taken then exec path (pos + 1) body
           else if need_pos then pos + 1 + Instr.count_instrs body
@@ -207,13 +259,9 @@ let run ?rng ?on_event ?(engine = Fast) ?force ?(faults = []) ?max_terms
         let pos =
           if track_path then begin
             let spath = path @ [ label ] in
-            (match on_event with
-            | Some f -> f (Span_enter { label; path = spath })
-            | None -> ());
+            if hooked then emit (Span_enter { label; path = spath });
             let p = exec spath pos body in
-            (match on_event with
-            | Some f -> f (Span_exit { label; path = spath })
-            | None -> ());
+            if hooked then emit (Span_exit { label; path = spath });
             p
           end
           else exec path pos body
@@ -226,6 +274,25 @@ let run ?rng ?on_event ?(engine = Fast) ?force ?(faults = []) ?max_terms
         exec path pos rest
   in
   ignore (exec [] 0 c.instrs);
+  (* Per-run telemetry lands once per run, not per instruction, so the
+     hot loop above pays nothing for it. GC deltas use [Gc.quick_stat]
+     (cheap, and per-domain on OCaml 5, so a shot's delta is its own
+     allocation even under the parallel runner). *)
+  Telemetry.incr m_runs;
+  Telemetry.observe m_run_seconds (Telemetry.now () -. t_start);
+  let gc_end = Gc.quick_stat () in
+  Telemetry.add m_gc_minor_words
+    (max 0 (int_of_float (gc_end.Gc.minor_words -. gc_start.Gc.minor_words)));
+  Telemetry.add m_gc_major_words
+    (max 0 (int_of_float (gc_end.Gc.major_words -. gc_start.Gc.major_words)));
+  Telemetry.add m_gates
+    (executed.t_x + executed.t_z + executed.t_h + executed.t_phase
+   + executed.t_cnot + executed.t_cz + executed.t_swap + executed.t_toffoli
+   + executed.t_cphase);
+  Telemetry.add m_measurements executed.t_measure;
+  Telemetry.add m_branches !branches;
+  Telemetry.add m_branches_taken !branches_taken;
+  Telemetry.observe_max m_peak_terms !peak_terms;
   { state = !state; bits; executed = counts_of_tally executed;
     injected = !injected }
 

@@ -1,0 +1,328 @@
+(* Telemetry-layer tests: jobs-independence of the merged per-domain
+   counters, histogram bucket conservation, OpenMetrics round-tripping,
+   and the bench-regression comparator.
+
+   The registry is process-global; alcotest runs suites sequentially, so
+   each test resets it and owns it for the test's duration. *)
+
+open Mbu_circuit
+open Mbu_simulator
+open Mbu_telemetry
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let build_modadd ~n ~p =
+  let b = Builder.create () in
+  let x = Builder.fresh_register b "x" n in
+  let y = Builder.fresh_register b "y" n in
+  Mbu_core.Mod_add.modadd ~mbu:true Mbu_core.Mod_add.spec_cdkpm b ~p ~x ~y;
+  (b, x, y)
+
+(* The deterministic slice of a snapshot: everything except latency
+   buckets/sums and GC word counts, which legitimately vary run to run
+   (and per domain layout). Shot outcomes are split-RNG deterministic, so
+   these must be exactly equal at any [jobs]. *)
+let deterministic_counters () =
+  List.filter
+    (fun (name, _) ->
+      let is_prefix p =
+        String.length name >= String.length p
+        && String.sub name 0 (String.length p) = p
+      in
+      not
+        (is_prefix "mbu_sim_run_seconds"
+        || is_prefix "mbu_robustness_run_seconds"
+        || is_prefix "mbu_sim_gc_"))
+    (Telemetry.counters_alist ())
+
+let workload ~seed ~jobs ~shots c ~init =
+  Telemetry.reset ();
+  ignore (Sim.run_shots ~seed ~jobs ~shots c ~init);
+  deterministic_counters ()
+
+let prop_jobs_independent =
+  QCheck.Test.make
+    ~name:"merged counters at jobs=4 equal sequential totals at jobs=1"
+    ~count:25
+    QCheck.(
+      make
+        Gen.(
+          int_range 2 4 >>= fun n ->
+          map3
+            (fun plow seed shots ->
+              (n, max 3 (((1 lsl (n - 1)) lor plow) lor 1), seed, 1 + shots))
+            (int_bound ((1 lsl (n - 1)) - 1))
+            (int_bound 1000) (int_bound 40))
+        ~print:(fun (n, p, seed, shots) ->
+          Printf.sprintf "n=%d p=%d seed=%d shots=%d" n p seed shots))
+    (fun (n, p, seed, shots) ->
+      let b, x, y = build_modadd ~n ~p in
+      let c = Builder.to_circuit b in
+      let init =
+        Sim.init_registers ~num_qubits:(Builder.num_qubits b)
+          [ (x, 1 mod p); (y, (p - 1) mod p) ]
+      in
+      let seq = workload ~seed ~jobs:1 ~shots c ~init in
+      let par = workload ~seed ~jobs:4 ~shots c ~init in
+      if seq <> par then
+        QCheck.Test.fail_reportf "seq=%s@.par=%s"
+          (String.concat "; "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) seq))
+          (String.concat "; "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) par));
+      (* The run counter must also reflect the shot count exactly. *)
+      List.assoc "mbu_sim_runs_total" par = float_of_int shots)
+
+let test_campaign_counters_jobs_independent () =
+  let b, x, y = build_modadd ~n:3 ~p:5 in
+  let spec =
+    Mbu_robustness.Engine.spec_of_builder ~name:"modadd" b
+      ~inits:[ (x, 2); (y, 3) ] ~keep:[ x; y ] ~expect:[ (x, 2); (y, 0) ]
+  in
+  let campaign jobs =
+    Telemetry.reset ();
+    let r =
+      Mbu_robustness.Engine.run_campaign ~seed:11 ~jobs
+        ~plan:(Mbu_robustness.Engine.Random { runs = 60; faults_per_run = 1 })
+        spec
+    in
+    (r, deterministic_counters ())
+  in
+  let r1, seq = campaign 1 in
+  let r4, par = campaign 4 in
+  Alcotest.(check int) "correct jobs-independent" r1.Mbu_robustness.Engine.correct
+    r4.Mbu_robustness.Engine.correct;
+  Alcotest.(check bool) "telemetry jobs-independent" true (seq = par);
+  Alcotest.(check (float 0.)) "runs counter = campaign runs"
+    (float_of_int r4.Mbu_robustness.Engine.runs)
+    (List.assoc "mbu_robustness_runs_total" par);
+  Alcotest.(check (float 0.)) "outcome counters partition the runs"
+    (List.assoc "mbu_robustness_runs_total" par)
+    (List.assoc "mbu_robustness_correct_total" par
+    +. List.assoc "mbu_robustness_detected_total" par
+    +. List.assoc "mbu_robustness_silent_total" par)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+let prop_histogram_conserves =
+  QCheck.Test.make
+    ~name:"histogram bucket totals equal observation count" ~count:100
+    QCheck.(list_of_size Gen.(int_bound 200) (float_bound_exclusive 10.))
+    (fun obs ->
+      Telemetry.reset ();
+      let h = Telemetry.histogram ~base:1e-3 ~buckets:12 "test_hist_cons" in
+      List.iter (Telemetry.observe h) obs;
+      let n = List.length obs in
+      let cum_last =
+        match
+          List.find_map
+            (function
+              | Telemetry.Histogram_sample { name = "test_hist_cons"; buckets; _ }
+                ->
+                  Some (snd buckets.(Array.length buckets - 1))
+              | _ -> None)
+            (Telemetry.snapshot ())
+        with
+        | Some c -> c
+        | None -> -1
+      in
+      Telemetry.histogram_count h = n
+      && cum_last = n
+      && Float.abs (Telemetry.histogram_sum h -. List.fold_left ( +. ) 0. obs)
+         < 1e-6 *. float_of_int (max 1 n))
+
+let test_histogram_buckets_monotone () =
+  Telemetry.reset ();
+  let h = Telemetry.histogram ~base:1e-6 ~buckets:8 "test_hist_mono" in
+  (* Overflow, underflow and exact bucket boundaries all land somewhere. *)
+  List.iter (Telemetry.observe h)
+    [ 0.; -1.; 1e-6; 2e-6; 3e-6; 1e3; Float.infinity ];
+  match
+    List.find_map
+      (function
+        | Telemetry.Histogram_sample { name = "test_hist_mono"; buckets; count; _ }
+          ->
+            Some (buckets, count)
+        | _ -> None)
+      (Telemetry.snapshot ())
+  with
+  | None -> Alcotest.fail "histogram sample missing"
+  | Some (buckets, count) ->
+      Alcotest.(check int) "count" 7 count;
+      let prev = ref 0 in
+      Array.iter
+        (fun (_, cum) ->
+          Alcotest.(check bool) "cumulative monotone" true (cum >= !prev);
+          prev := cum)
+        buckets;
+      Alcotest.(check int) "last bucket is total" 7 !prev
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics round-trip *)
+
+let test_openmetrics_roundtrip () =
+  Telemetry.reset ();
+  let c = Telemetry.counter ~help:"a counter" "test_om_counter" in
+  let g = Telemetry.gauge ~help:"a gauge" "test_om_gauge" in
+  let h = Telemetry.histogram ~base:1e-3 ~buckets:4 "test_om_hist" in
+  Telemetry.add c 42;
+  Telemetry.set_gauge g 7;
+  Telemetry.set_gauge g 3;
+  List.iter (Telemetry.observe h) [ 5e-4; 2e-3; 100. ];
+  let text = Telemetry.to_openmetrics () in
+  let samples = Telemetry.parse_openmetrics text in
+  let get name =
+    match List.assoc_opt name samples with
+    | Some v -> v
+    | None -> Alcotest.failf "sample %s missing from exposition" name
+  in
+  Alcotest.(check (float 0.)) "counter" 42. (get "test_om_counter_total");
+  Alcotest.(check (float 0.)) "gauge current" 3. (get "test_om_gauge");
+  Alcotest.(check (float 0.)) "gauge highwater" 7.
+    (get "test_om_gauge_highwater");
+  Alcotest.(check (float 0.)) "hist count" 3. (get "test_om_hist_count");
+  Alcotest.(check (float 0.)) "hist first bucket" 1.
+    (get "test_om_hist_bucket{le=\"0.001\"}");
+  Alcotest.(check (float 0.)) "hist +Inf bucket" 3.
+    (get "test_om_hist_bucket{le=\"+Inf\"}");
+  Alcotest.(check bool) "terminated by EOF" true
+    (let l = String.length text in
+     l >= 6 && String.sub text (l - 6) 6 = "# EOF\n")
+
+let test_registry_kind_mismatch () =
+  Telemetry.reset ();
+  let c1 = Telemetry.counter "test_reg_dup" in
+  let c2 = Telemetry.counter "test_reg_dup" in
+  Telemetry.incr c1;
+  Telemetry.incr c2;
+  (* Same name resolves to the same instrument, not a shadow copy. *)
+  Alcotest.(check int) "idempotent registration" 2 (Telemetry.counter_value c1);
+  Alcotest.check_raises "kind mismatch raises"
+    (Invalid_argument
+       "Telemetry: \"test_reg_dup\" is already registered as another kind")
+    (fun () -> ignore (Telemetry.gauge "test_reg_dup"))
+
+(* ------------------------------------------------------------------ *)
+(* Bench comparator *)
+
+let baseline_doc =
+  {|{
+  "workload": "catalogue-fault-campaigns",
+  "families": [
+    {"family": "CDKPM", "sites": 349, "runs": 300, "correct": 123,
+     "detected": 110, "silent": 67, "detection_rate": 0.6215,
+     "silent_rate": 0.2233},
+    {"family": "Gidney", "sites": 425, "runs": 300, "correct": 165,
+     "detected": 51, "silent": 84, "detection_rate": 0.3778,
+     "silent_rate": 0.28}
+  ]
+}|}
+
+let test_compare_identical_passes () =
+  match
+    Bench_compare.compare_strings ~baseline:baseline_doc ~current:baseline_doc
+  with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok report ->
+      Alcotest.(check int) "no regressions" 0
+        (List.length report.Bench_compare.regressions);
+      Alcotest.(check (option string)) "workload extracted"
+        (Some "catalogue-fault-campaigns") report.Bench_compare.workload_name
+
+(* First-occurrence substring replacement (no Str in the test deps). *)
+let replace s ~from ~into =
+  let ls = String.length s and lf = String.length from in
+  let rec find i =
+    if i + lf > ls then None
+    else if String.sub s i lf = from then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i ->
+      String.sub s 0 i ^ into ^ String.sub s (i + lf) (ls - i - lf)
+
+let test_compare_flags_degradation () =
+  (* A silent count past its zero-tolerance threshold must be flagged. *)
+  let degraded =
+    replace baseline_doc ~from:{|"silent": 67|} ~into:{|"silent": 90|}
+  in
+  match
+    Bench_compare.compare_strings ~baseline:baseline_doc ~current:degraded
+  with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok report ->
+      let keys =
+        List.map (fun d -> d.Bench_compare.key) report.Bench_compare.regressions
+      in
+      Alcotest.(check (list string)) "exactly the degraded metric"
+        [ "families.CDKPM.silent" ] keys
+
+let test_compare_missing_metric_is_regression () =
+  let shrunk =
+    {|{"workload": "catalogue-fault-campaigns",
+       "families": [
+         {"family": "CDKPM", "sites": 349, "runs": 300, "correct": 123,
+          "detected": 110, "silent": 67, "detection_rate": 0.6215,
+          "silent_rate": 0.2233}
+       ]}|}
+  in
+  match
+    Bench_compare.compare_strings ~baseline:baseline_doc ~current:shrunk
+  with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok report ->
+      Alcotest.(check bool) "dropped row regresses" true
+        (List.exists
+           (fun d ->
+             d.Bench_compare.status = Bench_compare.Missing
+             && d.Bench_compare.key = "families.Gidney.silent")
+           report.Bench_compare.regressions)
+
+let test_compare_timing_floor () =
+  (* A sub-millisecond timing wobble is noise, not a regression; a large
+     absolute slowdown past the floor and the relative band is. *)
+  let base = {|{"rows": [{"row": "a", "counts_dag_ms": 0.02}]}|} in
+  let noisy = {|{"rows": [{"row": "a", "counts_dag_ms": 0.5}]}|} in
+  let slow = {|{"rows": [{"row": "a", "counts_dag_ms": 200.0}]}|} in
+  let regressions ~current =
+    match Bench_compare.compare_strings ~baseline:base ~current with
+    | Error e -> Alcotest.failf "parse error: %s" e
+    | Ok r -> List.length r.Bench_compare.regressions
+  in
+  Alcotest.(check int) "25x on microseconds is noise" 0 (regressions ~current:noisy);
+  Alcotest.(check int) "10000x past the floor regresses" 1
+    (regressions ~current:slow)
+
+let test_flatten_row_keys () =
+  let doc =
+    {|{"rows": [{"row": "mod_mul", "n": 16, "build_ms": 1.0},
+                {"row": "mod_mul", "n": 32, "build_ms": 3.0}]}|}
+  in
+  let flat = Bench_compare.flatten (Bench_compare.parse doc) in
+  Alcotest.(check (option (float 0.))) "n disambiguates repeated rows"
+    (Some 3.0)
+    (List.assoc_opt "rows.mod_mul@32.build_ms" flat)
+
+let suite =
+  ( "telemetry",
+    [ qtest prop_jobs_independent;
+      Alcotest.test_case "campaign counters jobs-independent" `Quick
+        test_campaign_counters_jobs_independent;
+      qtest prop_histogram_conserves;
+      Alcotest.test_case "histogram buckets monotone" `Quick
+        test_histogram_buckets_monotone;
+      Alcotest.test_case "openmetrics round-trip" `Quick
+        test_openmetrics_roundtrip;
+      Alcotest.test_case "registry kind mismatch" `Quick
+        test_registry_kind_mismatch;
+      Alcotest.test_case "compare: identical baseline passes" `Quick
+        test_compare_identical_passes;
+      Alcotest.test_case "compare: degradation flagged" `Quick
+        test_compare_flags_degradation;
+      Alcotest.test_case "compare: missing metric flagged" `Quick
+        test_compare_missing_metric_is_regression;
+      Alcotest.test_case "compare: timing noise floor" `Quick
+        test_compare_timing_floor;
+      Alcotest.test_case "flatten: row@n keys" `Quick test_flatten_row_keys ] )
