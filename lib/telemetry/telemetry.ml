@@ -149,6 +149,8 @@ let histogram ?(help = "") ?(base = 1e-6) ?(buckets = 28) name =
 let bucket_index h v =
   let nb = Array.length h.h_buckets in
   if not (v > h.h_base) then 0 (* also catches NaN *)
+  else if not (Float.is_finite v) then nb - 1 (* +Inf overflow bucket;
+      int_of_float infinity is unspecified *)
   else
     let i = int_of_float (Float.ceil (Float.log2 (v /. h.h_base))) in
     if i >= nb then nb - 1 else if i < 1 then 1 else i

@@ -156,7 +156,14 @@ let test_histogram_buckets_monotone () =
           Alcotest.(check bool) "cumulative monotone" true (cum >= !prev);
           prev := cum)
         buckets;
-      Alcotest.(check int) "last bucket is total" 7 !prev
+      Alcotest.(check int) "last bucket is total" 7 !prev;
+      (* 1e3 and infinity exceed every finite bound, so exactly those two
+         land in the +Inf overflow bucket. *)
+      let nb = Array.length buckets in
+      let le_last, cum_last = buckets.(nb - 1) in
+      let _, cum_prev = buckets.(nb - 2) in
+      Alcotest.(check bool) "last le is +Inf" true (le_last = Float.infinity);
+      Alcotest.(check int) "overflow bucket count" 2 (cum_last - cum_prev)
 
 (* ------------------------------------------------------------------ *)
 (* OpenMetrics round-trip *)
